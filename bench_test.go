@@ -1,0 +1,187 @@
+package fdb
+
+// One benchmark per table/figure of the paper's evaluation (Section 5).
+// Each wraps the corresponding experiment in internal/bench on a reduced
+// parameter grid suitable for `go test -bench=.`; cmd/fdbench runs the full
+// grids and prints the series recorded in EXPERIMENTS.md.
+//
+//	Figure 5  -> BenchmarkExp1OptimiseFlat      (optimisation on flat data)
+//	Figure 6  -> BenchmarkExp2PlanQuality       (full search vs greedy cost)
+//	Figure 9  -> BenchmarkExp2OptimiserTime     (full search vs greedy time)
+//	Figure 7  -> BenchmarkExp3FlatEval          (evaluation on flat data)
+//	Figure 8  -> BenchmarkExp4FactorisedEval    (evaluation on factorised data)
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/opt"
+	"repro/internal/relation"
+)
+
+// BenchmarkExp1OptimiseFlat measures OptimalFTree (Figure 5): time to find
+// the optimal f-tree and its cost s(T), for K equalities on R relations
+// with A = 40 attributes.
+func BenchmarkExp1OptimiseFlat(b *testing.B) {
+	for _, r := range []int{2, 4, 8} {
+		for _, k := range []int{1, 3, 6} {
+			b.Run(fmt.Sprintf("R=%d/K=%d", r, k), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				var lastS float64
+				for i := 0; i < b.N; i++ {
+					sch, err := gen.RandomSchema(rng, r, 40)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eqs, err := gen.RandomEqualities(rng, sch, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					q := &core.Query{Equalities: eqs}
+					for j, s := range sch.Relations {
+						q.Relations = append(q.Relations, relation.New(sch.Names[j], s))
+					}
+					_, s, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastS = s
+				}
+				b.ReportMetric(lastS, "s(T)")
+			})
+		}
+	}
+}
+
+// BenchmarkExp2PlanQuality measures plan quality (Figure 6): average f-plan
+// cost and result-tree cost for full search and greedy, R = 4 relations,
+// A = 10 attributes.
+func BenchmarkExp2PlanQuality(b *testing.B) {
+	for _, kl := range [][2]int{{1, 1}, {2, 2}, {4, 2}, {2, 4}} {
+		b.Run(fmt.Sprintf("K=%d/L=%d", kl[0], kl[1]), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			var rows []bench.Exp2Row
+			for i := 0; i < b.N; i++ {
+				rows = bench.Experiment2(rng, 4, 10, []int{kl[0]}, []int{kl[1]}, 3)
+			}
+			if len(rows) > 0 && rows[0].Runs > 0 {
+				b.ReportMetric(rows[0].FullPlanCost, "s(f)-full")
+				b.ReportMetric(rows[0].GreedyPlanCost, "s(f)-greedy")
+				b.ReportMetric(rows[0].FullResultCost, "s(T)-full")
+				b.ReportMetric(rows[0].GreedyResultCost, "s(T)-greedy")
+			}
+		})
+	}
+}
+
+// BenchmarkExp2OptimiserTime measures optimiser latency (Figure 9).
+func BenchmarkExp2OptimiserTime(b *testing.B) {
+	for _, engine := range []string{"full", "greedy"} {
+		for _, kl := range [][2]int{{2, 1}, {2, 3}} {
+			b.Run(fmt.Sprintf("%s/K=%d/L=%d", engine, kl[0], kl[1]), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(3))
+				for i := 0; i < b.N; i++ {
+					rows := bench.Experiment2(rng, 4, 10, []int{kl[0]}, []int{kl[1]}, 1)
+					_ = rows
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExp3FlatEval measures query evaluation on flat data (Figure 7):
+// FDB (factorised result) vs RDB vs the Volcano stand-in, 3 ternary
+// relations, values from [1,100], uniform and Zipf.
+func BenchmarkExp3FlatEval(b *testing.B) {
+	for _, dist := range []gen.Distribution{gen.Uniform, gen.Zipf} {
+		for _, n := range []int{300, 1000} {
+			for _, k := range []int{2, 3, 4} {
+				b.Run(fmt.Sprintf("%s/N=%d/K=%d", dist, n, k), func(b *testing.B) {
+					rng := rand.New(rand.NewSource(4))
+					var row bench.Exp3Row
+					var err error
+					for i := 0; i < b.N; i++ {
+						row, err = bench.Experiment3Point(rng, bench.Exp3Config{
+							Relations: 3, Attributes: 9, N: n, K: k, M: 100,
+							Dist: dist, Timeout: 2 * time.Second, MaxTuples: 20_000_000,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(row.FDBSize), "fdb-size")
+					b.ReportMetric(float64(row.FlatSize), "flat-size")
+					b.ReportMetric(row.FDBMS, "fdb-ms")
+					b.ReportMetric(row.RDBMS, "rdb-ms")
+					b.ReportMetric(row.VolcanoMS, "volcano-ms")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkExp3Combinatorial covers the right column of Figure 7: R = 4
+// relations (two binary with 64 tuples, two ternary with 512), values from
+// [1,20].
+func BenchmarkExp3Combinatorial(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 6} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			var row bench.Exp3Row
+			for i := 0; i < b.N; i++ {
+				q, err := gen.CombinatorialQuery(rng, k, gen.Uniform)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row, err = bench.Exp3FromQuery(q, bench.Exp3Config{
+					K: k, Timeout: 2 * time.Second, MaxTuples: 20_000_000, Dist: gen.Uniform,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.FDBSize), "fdb-size")
+			b.ReportMetric(float64(row.FlatSize), "flat-size")
+		})
+	}
+}
+
+// BenchmarkExp4FactorisedEval measures evaluation on factorised data
+// (Figure 8): L equalities on the factorised result of a K-equality query,
+// FDB f-plan vs RDB scan.
+func BenchmarkExp4FactorisedEval(b *testing.B) {
+	for _, kl := range [][2]int{{2, 1}, {2, 2}, {4, 1}} {
+		b.Run(fmt.Sprintf("K=%d/L=%d", kl[0], kl[1]), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			var row bench.Exp4Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = bench.Experiment4Point(rng, bench.Exp4Config{
+					Relations: 4, Attributes: 10, N: 256, K: kl[0], L: kl[1], M: 20,
+					Dist: gen.Uniform, Timeout: 2 * time.Second, MaxFlat: 5_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.FDBSize), "fdb-size")
+			b.ReportMetric(float64(row.FlatSize), "flat-size")
+			b.ReportMetric(row.FDBMS, "fdb-ms")
+			b.ReportMetric(row.RDBMS, "rdb-ms")
+		})
+	}
+}
+
+// BenchmarkGroceryPipeline exercises the running example end to end.
+func BenchmarkGroceryPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := bench.GrocerySmoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

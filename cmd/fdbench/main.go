@@ -1,0 +1,167 @@
+// Command fdbench regenerates the data series of every figure in the
+// paper's evaluation (Section 5). Usage:
+//
+//	fdbench -exp 1            # Figure 5:   f-tree optimisation on flat data
+//	fdbench -exp 2            # Figures 6+9: full-search vs greedy optimiser
+//	fdbench -exp 3            # Figure 7:   evaluation on flat data
+//	fdbench -exp 3 -comb      # Figure 7 (right column): combinatorial data
+//	fdbench -exp 4            # Figure 8:   evaluation on factorised data
+//	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
+//
+// Flags -runs, -seed, -timeout shrink or grow the grids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+func main() {
+	exp := flag.Int("exp", 0, "experiment to run (1-4; 0 = all)")
+	runs := flag.Int("runs", 3, "repetitions per configuration")
+	seed := flag.Int64("seed", 42, "random seed")
+	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
+	timeout := flag.Duration("timeout", 20*time.Second, "relational engine budget per query")
+	maxN := flag.Int("maxn", 3000, "experiment 3: largest relation size in the sweep")
+	flag.Parse()
+
+	switch *exp {
+	case 0:
+		exp1(*seed, *runs)
+		exp2(*seed, *runs)
+		exp3(*seed, *timeout, *maxN, false)
+		exp3(*seed, *timeout, *maxN, true)
+		exp4(*seed, *runs, *timeout)
+	case 1:
+		exp1(*seed, *runs)
+	case 2:
+		exp2(*seed, *runs)
+	case 3:
+		exp3(*seed, *timeout, *maxN, *comb)
+	case 4:
+		exp4(*seed, *runs, *timeout)
+	default:
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..4")
+		os.Exit(2)
+	}
+}
+
+func exp1(seed int64, runs int) {
+	fmt.Println("# Experiment 1 (Figure 5): optimal f-tree for a random query, A=40 attributes")
+	fmt.Println("# R K avg_opt_ms avg_s runs budget_failures")
+	rng := rand.New(rand.NewSource(seed))
+	rows := bench.Experiment1(rng,
+		[]int{1, 2, 3, 4, 5, 6, 7, 8},
+		[]int{1, 2, 3, 4, 5, 6, 7, 8, 9}, 40, runs)
+	for _, r := range rows {
+		fmt.Printf("%d %d %.3f %.3f %d %d\n", r.R, r.K, r.AvgMS, r.AvgS, r.Runs, r.Failures)
+	}
+}
+
+func exp2(seed int64, runs int) {
+	fmt.Println("# Experiment 2 (Figures 6 and 9): full search vs greedy, R=4 relations, A=10 attributes")
+	fmt.Println("# K L full_plan_cost full_result_cost greedy_plan_cost greedy_result_cost full_ms greedy_ms runs")
+	rng := rand.New(rand.NewSource(seed))
+	rows := bench.Experiment2(rng, 4, 10,
+		[]int{1, 2, 3, 4, 5, 6, 7, 8},
+		[]int{1, 2, 3, 4, 5, 6}, runs)
+	for _, r := range rows {
+		if r.Runs == 0 {
+			continue
+		}
+		fmt.Printf("%d %d %.3f %.3f %.3f %.3f %.3f %.3f %d\n",
+			r.K, r.L, r.FullPlanCost, r.FullResultCost, r.GreedyPlanCost,
+			r.GreedyResultCost, r.FullMS, r.GreedyMS, r.Runs)
+	}
+}
+
+func exp3(seed int64, timeout time.Duration, maxN int, comb bool) {
+	rng := rand.New(rand.NewSource(seed))
+	if comb {
+		fmt.Println("# Experiment 3 (Figure 7, right): combinatorial dataset, R=4, A=10, values [1,20]")
+		fmt.Println("# K fdb_size flat_size fdb_ms rdb_ms volcano_ms rdb_timeout volcano_timeout")
+		for k := 1; k <= 8; k++ {
+			q, err := gen.CombinatorialQuery(rng, k, gen.Uniform)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				return
+			}
+			row, err := bench.Exp3FromQuery(q, bench.Exp3Config{
+				K: k, Dist: gen.Uniform, Timeout: timeout, MaxTuples: 50_000_000,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				return
+			}
+			fmt.Printf("%d %d %d %.3f %.3f %.3f %v %v\n",
+				k, row.FDBSize, row.FlatSize, row.FDBMS, row.RDBMS, row.VolcanoMS,
+				row.RDBTimedOut, row.VolcTimedOut)
+		}
+		return
+	}
+	fmt.Println("# Experiment 3 (Figure 7): 3 ternary relations, values [1,100]")
+	fmt.Println("# dist N K fdb_size flat_size fdb_ms rdb_ms volcano_ms rdb_timeout volcano_timeout")
+	for _, dist := range []gen.Distribution{gen.Uniform, gen.Zipf} {
+		for n := 300; n <= maxN; n *= 3 {
+			for k := 2; k <= 4; k++ {
+				row, err := bench.Experiment3Point(rng, bench.Exp3Config{
+					Relations: 3, Attributes: 9, N: n, K: k, M: 100,
+					Dist: dist, Timeout: timeout, MaxTuples: 50_000_000,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "fdbench:", err)
+					return
+				}
+				fmt.Printf("%s %d %d %d %d %.3f %.3f %.3f %v %v\n",
+					dist, n, k, row.FDBSize, row.FlatSize, row.FDBMS, row.RDBMS,
+					row.VolcanoMS, row.RDBTimedOut, row.VolcTimedOut)
+			}
+		}
+	}
+}
+
+func exp4(seed int64, runs int, timeout time.Duration) {
+	fmt.Println("# Experiment 4 (Figure 8): L equalities on the factorised result of K equalities, R=4, A=10")
+	fmt.Println("# K L fdb_size flat_size fdb_ms rdb_ms plan_cost rdb_skipped")
+	rng := rand.New(rand.NewSource(seed))
+	for k := 1; k <= 6; k++ {
+		for l := 1; l <= 3; l++ {
+			if k+l >= 10 {
+				continue
+			}
+			var acc bench.Exp4Row
+			n := 0
+			for i := 0; i < runs; i++ {
+				row, err := bench.Experiment4Point(rng, bench.Exp4Config{
+					Relations: 4, Attributes: 10, N: 256, K: k, L: l, M: 20,
+					Dist: gen.Uniform, Timeout: timeout, MaxFlat: 3_000_000,
+				})
+				if err != nil {
+					continue
+				}
+				acc.FDBSize += row.FDBSize
+				acc.FlatSize += row.FlatSize
+				acc.FDBMS += row.FDBMS
+				acc.RDBMS += row.RDBMS
+				acc.PlanCost += row.PlanCost
+				if row.RDBSkipped {
+					acc.RDBSkipped = true
+				}
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			f := float64(n)
+			fmt.Printf("%d %d %d %d %.3f %.3f %.3f %v\n",
+				k, l, acc.FDBSize/int64(n), acc.FlatSize/int64(n),
+				acc.FDBMS/f, acc.RDBMS/f, acc.PlanCost/f, acc.RDBSkipped)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command fdgen writes synthetic relation files in the tab-separated format
+// understood by cmd/fdb, using the workload generators of the paper's
+// evaluation: R relations over A attributes with N tuples each, values
+// drawn uniformly or Zipf-distributed from [1, M].
+//
+//	fdgen -r 3 -a 9 -n 1000 -m 100 -dist zipf -out data/
+//
+// It also prints a ready-to-paste fdb invocation with K random
+// non-redundant equalities.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	r := flag.Int("r", 3, "number of relations")
+	a := flag.Int("a", 9, "number of attributes (spread evenly)")
+	n := flag.Int("n", 1000, "tuples per relation")
+	m := flag.Int("m", 100, "value domain [1, m]")
+	k := flag.Int("k", 2, "suggested number of join equalities")
+	dist := flag.String("dist", "uniform", "value distribution: uniform or zipf")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	d := gen.Uniform
+	if *dist == "zipf" {
+		d = gen.Zipf
+	} else if *dist != "uniform" {
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	sch, err := gen.RandomSchema(rng, *r, *a)
+	if err != nil {
+		fatal(err)
+	}
+	rels := sch.Populate(rng, *n, gen.NewSampler(rng, d, *m))
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var loads []string
+	for _, rel := range rels {
+		path := filepath.Join(*out, strings.ToLower(rel.Name)+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(f, "%s", rel.Name)
+		for _, at := range rel.Schema {
+			// Attribute names are global (X1..XA); strip nothing, but the
+			// fdb loader qualifies them as Name.attr, so write bare names.
+			fmt.Fprintf(f, "\t%s", at)
+		}
+		fmt.Fprintln(f)
+		for _, t := range rel.Tuples {
+			for i, v := range t {
+				if i > 0 {
+					fmt.Fprint(f, "\t")
+				}
+				fmt.Fprintf(f, "%d", int64(v))
+			}
+			fmt.Fprintln(f)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		loads = append(loads, "-load "+path)
+	}
+	eqs, err := gen.RandomEqualities(rng, sch, *k)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	for _, rel := range rels {
+		names = append(names, rel.Name)
+	}
+	fmt.Printf("wrote %d relations to %s\n", len(rels), *out)
+	fmt.Printf("suggested query:\n  fdb %s -from %s", strings.Join(loads, " "), strings.Join(names, ","))
+	for _, e := range eqs {
+		// Qualify with relation names for the fdb loader.
+		fmt.Printf(" -eq %s=%s", qualify(sch, string(e.A)), qualify(sch, string(e.B)))
+	}
+	fmt.Println()
+}
+
+func qualify(s *gen.Schema, attr string) string {
+	for i, sch := range s.Relations {
+		for _, a := range sch {
+			if string(a) == attr {
+				return s.Names[i] + "." + attr
+			}
+		}
+	}
+	return attr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fdgen:", err)
+	os.Exit(1)
+}

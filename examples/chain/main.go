@@ -1,0 +1,45 @@
+// Chain: Example 6 of the paper. The chain query Qn joins n binary
+// relations R1(A1,B1) ⋈ … ⋈ Rn(An,Bn) on Bi = Ai+1. Flat results grow like
+// |D|^Θ(n); factorised results stay within |D|^Θ(log n) because the optimal
+// f-tree has logarithmic depth. This example prints the growth table.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("chain query Qn = R1 ⋈ R2 ⋈ … ⋈ Rn (Example 6)")
+	fmt.Println("n | result tuples | flat elements | factorised singletons | compression")
+	for _, n := range []int{2, 3, 4, 5, 6} {
+		rng := rand.New(rand.NewSource(11))
+		db := fdb.New()
+		var clauses []fdb.Clause
+		var names []string
+		for i := 1; i <= n; i++ {
+			name := fmt.Sprintf("R%d", i)
+			db.MustCreate(name, "a", "b")
+			for j := 0; j < 60; j++ {
+				db.MustInsert(name, rng.Intn(4), rng.Intn(4))
+			}
+			names = append(names, name)
+		}
+		clauses = append(clauses, fdb.From(names...))
+		for i := 1; i < n; i++ {
+			clauses = append(clauses, fdb.Eq(
+				fmt.Sprintf("R%d.b", i), fmt.Sprintf("R%d.a", i+1)))
+		}
+		res, err := db.Query(clauses...)
+		if err != nil {
+			panic(err)
+		}
+		comp := float64(res.FlatSize()) / float64(res.Size())
+		fmt.Printf("%d | %13d | %13d | %21d | %10.1fx\n",
+			n, res.Count(), res.FlatSize(), res.Size(), comp)
+	}
+	fmt.Println("\nThe factorised size grows roughly linearly in n while the flat size")
+	fmt.Println("multiplies with every extra relation — the exponential gap of Section 2.")
+}

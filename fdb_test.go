@@ -1,0 +1,236 @@
+package fdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// grocery loads Figure 1 through the public API.
+func grocery(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustCreate("Orders", "oid", "item")
+	for _, r := range [][2]string{{"01", "Milk"}, {"01", "Cheese"}, {"02", "Melon"}, {"03", "Cheese"}, {"03", "Melon"}} {
+		db.MustInsert("Orders", r[0], r[1])
+	}
+	db.MustCreate("Store", "location", "item")
+	for _, r := range [][2]string{{"Istanbul", "Milk"}, {"Istanbul", "Cheese"}, {"Istanbul", "Melon"},
+		{"Izmir", "Milk"}, {"Antalya", "Milk"}, {"Antalya", "Cheese"}} {
+		db.MustInsert("Store", r[0], r[1])
+	}
+	db.MustCreate("Disp", "dispatcher", "location")
+	for _, r := range [][2]string{{"Adnan", "Istanbul"}, {"Adnan", "Izmir"}, {"Yasemin", "Istanbul"}, {"Volkan", "Antalya"}} {
+		db.MustInsert("Disp", r[0], r[1])
+	}
+	db.MustCreate("Produce", "supplier", "item")
+	for _, r := range [][2]string{{"Guney", "Milk"}, {"Guney", "Cheese"}, {"Dikici", "Milk"}, {"Byzantium", "Melon"}} {
+		db.MustInsert("Produce", r[0], r[1])
+	}
+	db.MustCreate("Serve", "supplier", "location")
+	for _, r := range [][2]string{{"Guney", "Antalya"}, {"Dikici", "Istanbul"}, {"Dikici", "Izmir"},
+		{"Dikici", "Antalya"}, {"Byzantium", "Istanbul"}} {
+		db.MustInsert("Serve", r[0], r[1])
+	}
+	return db
+}
+
+func q1(t *testing.T, db *DB) *Result {
+	t.Helper()
+	res, err := db.Query(
+		From("Orders", "Store", "Disp"),
+		Eq("Orders.item", "Store.item"),
+		Eq("Store.location", "Disp.location"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestQ1ThroughPublicAPI(t *testing.T) {
+	db := grocery(t)
+	res := q1(t, db)
+	if res.Count() != 14 {
+		t.Fatalf("Q1 count = %d, want 14", res.Count())
+	}
+	// 6 attributes (classes keep both sides of each equality).
+	if res.FlatSize() != 14*int64(len(res.Schema())) {
+		t.Fatalf("FlatSize inconsistent: %d", res.FlatSize())
+	}
+	if res.Size() >= int(res.FlatSize()) {
+		t.Fatalf("factorised size %d not smaller than flat %d", res.Size(), res.FlatSize())
+	}
+	rows := res.Rows(0)
+	if len(rows) != 14 {
+		t.Fatalf("enumerated %d rows, want 14", len(rows))
+	}
+	if !strings.Contains(res.String(), "Milk") {
+		t.Fatal("rendering lost dictionary decoding")
+	}
+	if res.FTree() == "" {
+		t.Fatal("empty f-tree rendering")
+	}
+}
+
+func TestExample2JoinOnFactorisedResults(t *testing.T) {
+	db := grocery(t)
+	r1 := q1(t, db)
+	r2, err := db.Query(From("Produce", "Serve"), Eq("Produce.supplier", "Serve.supplier"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s(Q2) = 1: the factorisation is linear in the input.
+	if r2.Count() != 6 {
+		t.Fatalf("Q2 count = %d, want 6", r2.Count())
+	}
+	joined, err := r1.Join(r2,
+		Eq("Orders.item", "Produce.item"),
+		Eq("Store.location", "Serve.location"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against a flat evaluation of the full join.
+	full, err := db.Query(
+		From("Orders", "Store", "Disp", "Produce", "Serve"),
+		Eq("Orders.item", "Store.item"),
+		Eq("Store.location", "Disp.location"),
+		Eq("Produce.supplier", "Serve.supplier"),
+		Eq("Orders.item", "Produce.item"),
+		Eq("Store.location", "Serve.location"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Count() != full.Count() {
+		t.Fatalf("factorised-join count %d != direct count %d", joined.Count(), full.Count())
+	}
+}
+
+func TestWhereConstAndProject(t *testing.T) {
+	db := grocery(t)
+	res := q1(t, db)
+	milkOnly, err := res.Where(Cmp("Orders.item", EQ, "Milk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range milkOnly.Rows(0) {
+		found := false
+		for _, v := range row {
+			if v == "Milk" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("row %v survived σ item=Milk", row)
+		}
+	}
+	if milkOnly.Count() != 4 {
+		t.Fatalf("milk rows = %d, want 4", milkOnly.Count())
+	}
+	proj, err := res.ProjectTo("Orders.oid", "Disp.dispatcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Schema()) != 2 {
+		t.Fatalf("projected schema = %v", proj.Schema())
+	}
+	if proj.Count() <= 0 || proj.Count() > 14 {
+		t.Fatalf("projected count = %d", proj.Count())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := grocery(t)
+	if _, err := db.Query(Eq("a", "b")); err == nil {
+		t.Fatal("query without From accepted")
+	}
+	if _, err := db.Query(From("Ghost")); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if err := db.Create("Orders", "x"); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+	if err := db.Create("Empty"); err == nil {
+		t.Fatal("zero-attribute relation accepted")
+	}
+	if err := db.Insert("Orders", "just-one"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := db.Insert("Ghost", 1); err == nil {
+		t.Fatal("insert into unknown relation accepted")
+	}
+	if err := db.Insert("Orders", 1.5, 2.5); err == nil {
+		t.Fatal("float values accepted")
+	}
+}
+
+func TestIntValuesAndCmp(t *testing.T) {
+	db := New()
+	db.MustCreate("R", "a", "b")
+	for i := 0; i < 10; i++ {
+		db.MustInsert("R", i, i*2)
+	}
+	res, err := db.Query(From("R"), Cmp("R.a", LT, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 5 {
+		t.Fatalf("count = %d, want 5", res.Count())
+	}
+	res2, err := db.Query(From("R"), Eq("R.a", "R.b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count() != 1 { // only (0,0)
+		t.Fatalf("count = %d, want 1", res2.Count())
+	}
+}
+
+func TestRelationsListing(t *testing.T) {
+	db := grocery(t)
+	names := db.Relations()
+	if len(names) != 5 || names[0] != "Orders" {
+		t.Fatalf("Relations() = %v", names)
+	}
+	if _, ok := db.Relation("Store"); !ok {
+		t.Fatal("Relation(Store) missing")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	db := New()
+	db.MustCreate("A", "x")
+	db.MustCreate("B", "y")
+	db.MustInsert("A", 1)
+	db.MustInsert("B", 2)
+	res, err := db.Query(From("A", "B"), Eq("A.x", "B.y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty() || res.Count() != 0 || res.Size() != 0 {
+		t.Fatalf("expected empty result, got count=%d", res.Count())
+	}
+}
+
+func TestIterPullsAllTuples(t *testing.T) {
+	db := grocery(t)
+	res := q1(t, db)
+	it := res.Iter()
+	n := int64(0)
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != res.Count() {
+		t.Fatalf("iterator produced %d tuples, Count() = %d", n, res.Count())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	db := grocery(t)
+	res := q1(t, db)
+	tbl := res.Table(3)
+	if !strings.Contains(tbl, "Orders.oid") || len(strings.Split(strings.TrimSpace(tbl), "\n")) != 4 {
+		t.Fatalf("table rendering wrong:\n%s", tbl)
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestGrocerySmoke(t *testing.T) {
+	q1, q2, joined, err := GrocerySmoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 <= 0 || q2 <= 0 || joined <= 0 {
+		t.Fatalf("degenerate sizes: %d %d %d", q1, q2, joined)
+	}
+}
+
+func TestVerifyGroceryJoin(t *testing.T) {
+	if err := VerifyGroceryJoin(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperiment1Small(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := Experiment1(rng, []int{1, 2, 3}, []int{1, 2}, 9, 2)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Runs == 0 {
+			t.Fatalf("row %+v has no successful runs", r)
+		}
+		if r.AvgS < 1 {
+			t.Fatalf("row %+v has cost below 1", r)
+		}
+	}
+}
+
+func TestExperiment2Small(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := Experiment2(rng, 3, 8, []int{1}, []int{1, 2}, 2)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Runs == 0 {
+			continue
+		}
+		if r.FullPlanCost > r.GreedyPlanCost+1e-9 {
+			t.Fatalf("full search worse than greedy: %+v", r)
+		}
+	}
+}
+
+func TestExperiment3Point(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	row, err := Experiment3Point(rng, Exp3Config{
+		Relations: 3, Attributes: 9, N: 50, K: 2, M: 20, Dist: gen.Uniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.FDBSize < 0 || row.FlatSize < 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+	// The factorised result can never have more singletons than the flat
+	// result has data elements.
+	if row.FlatSize > 0 && row.FDBSize > row.FlatSize {
+		t.Fatalf("factorised size %d exceeds flat size %d", row.FDBSize, row.FlatSize)
+	}
+}
+
+func TestExperiment4Point(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	row, err := Experiment4Point(rng, Exp4Config{
+		Relations: 3, Attributes: 9, N: 40, K: 2, L: 1, M: 10,
+		Dist: gen.Uniform, MaxFlat: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RDBSkipped {
+		t.Fatal("flat input unexpectedly large")
+	}
+	if !row.EmptyResult && row.FDBSize == 0 {
+		t.Fatal("non-empty result with zero size")
+	}
+}

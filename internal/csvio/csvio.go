@@ -1,0 +1,135 @@
+// Package csvio reads and writes relations in the plain tab-separated text
+// format used by the FDB and RDB engines of the paper ("FDB and RDB use
+// the plain text format", Section 5) and by cmd/fdb and cmd/fdgen.
+//
+// Format: the first line is "Name<TAB>attr1<TAB>attr2…"; every following
+// non-empty line is one tuple. Fields that parse as signed 64-bit integers
+// are stored numerically; all other fields are dictionary-encoded through
+// the supplied Dict.
+package csvio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Read parses one relation. Attribute names are qualified as "Name.attr"
+// so schemas from different files never collide.
+func Read(r io.Reader, dict *relation.Dict) (*relation.Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("csvio: empty input")
+	}
+	head := strings.Split(sc.Text(), "\t")
+	if len(head) < 2 {
+		return nil, fmt.Errorf("csvio: header %q needs a name and at least one attribute", sc.Text())
+	}
+	name := head[0]
+	sch := make(relation.Schema, len(head)-1)
+	for i, a := range head[1:] {
+		if a == "" {
+			return nil, fmt.Errorf("csvio: empty attribute name in header")
+		}
+		sch[i] = relation.Attribute(name + "." + a)
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	rel := relation.New(name, sch)
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		fields := strings.Split(txt, "\t")
+		if len(fields) != len(sch) {
+			return nil, fmt.Errorf("csvio: line %d has %d fields, schema has %d", line, len(fields), len(sch))
+		}
+		t := make(relation.Tuple, len(fields))
+		for i, f := range fields {
+			if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+				t[i] = relation.Value(n)
+			} else {
+				t[i] = dict.Encode(f)
+			}
+		}
+		rel.AppendTuple(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// ReadFile opens and parses one relation file.
+func ReadFile(path string, dict *relation.Dict) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rel, err := Read(f, dict)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rel, nil
+}
+
+// Write renders the relation in the text format. Values present in dict
+// decode to their strings (pass nil for purely numeric output). Attribute
+// names are written unqualified (the "Name." prefix, if present, is
+// stripped).
+func Write(w io.Writer, rel *relation.Relation, dict *relation.Dict) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(rel.Name); err != nil {
+		return err
+	}
+	for _, a := range rel.Schema {
+		name := string(a)
+		if i := strings.IndexByte(name, '.'); i >= 0 && name[:i] == rel.Name {
+			name = name[i+1:]
+		}
+		bw.WriteByte('\t')
+		bw.WriteString(name)
+	}
+	bw.WriteByte('\n')
+	for _, t := range rel.Tuples {
+		for i, v := range t {
+			if i > 0 {
+				bw.WriteByte('\t')
+			}
+			if dict != nil {
+				bw.WriteString(dict.Decode(v))
+			} else {
+				bw.WriteString(strconv.FormatInt(int64(v), 10))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the relation to path.
+func WriteFile(path string, rel *relation.Relation, dict *relation.Dict) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, rel, dict); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,144 @@
+// Package fplan implements the f-plan operators of Section 3 on factorised
+// data: push-up ψ and normalisation η, swap χ (the priority-queue algorithm
+// of Figure 4), Cartesian product ×, the selection operators merge μ, absorb
+// α and selection-with-constant σ, and projection π — plus f-plans
+// (sequences of operators) and their executor.
+//
+// Every operator transforms an (f-tree, f-representation) pair in place, in
+// time quasilinear in the sizes of its input and output (Proposition 2),
+// preserving the order invariant, the path constraint, and normalisation.
+package fplan
+
+import (
+	"fmt"
+
+	"repro/internal/frep"
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// Strict enables expensive internal consistency checks (copies factored out
+// by push-up must be equal). Tests switch it on; benchmarks leave it off.
+var Strict = false
+
+// rewriteProducts invokes fn on every product of child unions belonging to
+// parent (for parent == nil, the top-level product f.Roots). fn may mutate
+// the product through the pointer; returning false marks the enclosing
+// entry dead (its product annihilated), and the removal cascades upward. If
+// the cascade reaches a root, the representation becomes empty.
+//
+// The walk follows the tree as it is at call time; the caller applies the
+// matching structural change to f.Tree afterwards.
+func rewriteProducts(f *frep.FRep, parent *ftree.Node, fn func(prod *[]*frep.Union) bool) {
+	if parent == nil {
+		if !fn(&f.Roots) {
+			f.Empty = true
+		}
+		return
+	}
+	path := f.Tree.PathTo(parent)
+	if path == nil {
+		panic("fplan: rewriteProducts: parent not in tree")
+	}
+	var desc func(u *frep.Union, depth int) bool // reports emptied
+	desc = func(u *frep.Union, depth int) bool {
+		node := path[depth]
+		out := u.Entries[:0]
+		for i := range u.Entries {
+			e := u.Entries[i]
+			dead := false
+			if node == parent {
+				if !fn(&e.Children) {
+					dead = true
+				}
+			} else {
+				next := path[depth+1]
+				si := childIndex(node, next)
+				if desc(e.Children[si], depth+1) {
+					dead = true
+				}
+			}
+			if !dead {
+				out = append(out, e)
+			}
+		}
+		u.Entries = out
+		return len(out) == 0
+	}
+	ri := rootIndex(f.Tree, path[0])
+	if desc(f.Roots[ri], 0) {
+		f.Empty = true
+	}
+}
+
+// rewriteUnions invokes fn on every union belonging to node. fn may mutate
+// the union; returning false marks it empty and cascades the removal of the
+// enclosing entries upward.
+func rewriteUnions(f *frep.FRep, node *ftree.Node, fn func(u *frep.Union) bool) {
+	p := f.Tree.ParentOf(node)
+	if p == nil {
+		ri := rootIndex(f.Tree, node)
+		if !fn(f.Roots[ri]) {
+			f.Empty = true
+		}
+		return
+	}
+	si := childIndex(p, node)
+	rewriteProducts(f, p, func(prod *[]*frep.Union) bool {
+		return fn((*prod)[si])
+	})
+}
+
+func childIndex(p, c *ftree.Node) int {
+	for i, x := range p.Children {
+		if x == c {
+			return i
+		}
+	}
+	panic("fplan: childIndex: not a child")
+}
+
+func rootIndex(t *ftree.T, n *ftree.Node) int {
+	for i, r := range t.Roots {
+		if r == n {
+			return i
+		}
+	}
+	panic("fplan: rootIndex: not a root")
+}
+
+// unionDataEqual compares two unions structurally (used by Strict checks).
+func unionDataEqual(a, b *frep.Union) bool {
+	if len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		ea, eb := &a.Entries[i], &b.Entries[i]
+		if ea.Val != eb.Val || len(ea.Children) != len(eb.Children) {
+			return false
+		}
+		for j := range ea.Children {
+			if !unionDataEqual(ea.Children[j], eb.Children[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// removeSlot returns s without index i (copying, so shared backing arrays
+// across entries are safe).
+func removeSlot(s []*frep.Union, i int) []*frep.Union {
+	out := make([]*frep.Union, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+// attrNode resolves the node labelled by a, or errors.
+func attrNode(t *ftree.T, a relation.Attribute) (*ftree.Node, error) {
+	n := t.NodeOf(a)
+	if n == nil {
+		return nil, fmt.Errorf("fplan: attribute %q not in f-tree", a)
+	}
+	return n, nil
+}

@@ -1,0 +1,138 @@
+package frep
+
+import (
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// Iterator enumerates the tuples of a factorised representation with
+// constant delay (Section 2: O(|E|) preparation, O(|S|) work per tuple),
+// as a resumable cursor — the pull-based counterpart of Enumerate. The
+// iterator is invalidated by any mutation of the representation.
+type Iterator struct {
+	f      *FRep
+	schema relation.Schema
+	pos    map[relation.Attribute]int
+	roots  []*unionCursor
+	buf    relation.Tuple
+	done   bool
+	fresh  bool
+}
+
+// unionCursor walks one union: the current entry index plus cursors for
+// the current entry's children.
+type unionCursor struct {
+	u        *Union
+	node     *ftree.Node
+	idx      int
+	children []*unionCursor
+}
+
+// NewIterator prepares an iterator over f. Preparation is linear in the
+// depth of the representation; each Next is O(schema size) amortised.
+func NewIterator(f *FRep) *Iterator {
+	it := &Iterator{f: f, schema: f.Schema(), pos: map[relation.Attribute]int{}}
+	for i, a := range it.schema {
+		it.pos[a] = i
+	}
+	it.buf = make(relation.Tuple, len(it.schema))
+	if f.IsEmpty() {
+		it.done = true
+		return it
+	}
+	for i, u := range f.Roots {
+		it.roots = append(it.roots, newUnionCursor(u, f.Tree.Roots[i]))
+	}
+	it.fresh = true
+	return it
+}
+
+func newUnionCursor(u *Union, n *ftree.Node) *unionCursor {
+	c := &unionCursor{u: u, node: n}
+	c.enter()
+	return c
+}
+
+// enter (re)builds the child cursors for the current entry.
+func (c *unionCursor) enter() {
+	e := &c.u.Entries[c.idx]
+	c.children = c.children[:0]
+	for j, cu := range e.Children {
+		c.children = append(c.children, newUnionCursor(cu, c.node.Children[j]))
+	}
+}
+
+// advance moves the cursor to its next state; it returns false (and resets
+// to the first state) when the subtree wraps around.
+func (c *unionCursor) advance() bool {
+	// Odometer over the children product, rightmost child fastest.
+	for j := len(c.children) - 1; j >= 0; j-- {
+		if c.children[j].advance() {
+			return true
+		}
+	}
+	c.idx++
+	if c.idx < len(c.u.Entries) {
+		c.enter()
+		return true
+	}
+	c.idx = 0
+	c.enter()
+	return false
+}
+
+// fill writes the cursor's current values into buf.
+func (c *unionCursor) fill(buf relation.Tuple, pos map[relation.Attribute]int) {
+	e := &c.u.Entries[c.idx]
+	for _, a := range c.node.Attrs {
+		if p, ok := pos[a]; ok {
+			buf[p] = e.Val
+		}
+	}
+	for _, ch := range c.children {
+		ch.fill(buf, pos)
+	}
+}
+
+// Next returns the next tuple, or ok = false when the enumeration is
+// exhausted. The returned slice is reused across calls; clone it to retain.
+func (it *Iterator) Next() (t relation.Tuple, ok bool) {
+	if it.done {
+		return nil, false
+	}
+	if it.fresh {
+		it.fresh = false
+	} else {
+		advanced := false
+		for j := len(it.roots) - 1; j >= 0; j-- {
+			if it.roots[j].advance() {
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			it.done = true
+			return nil, false
+		}
+	}
+	for _, rc := range it.roots {
+		rc.fill(it.buf, it.pos)
+	}
+	return it.buf, true
+}
+
+// Schema returns the attribute order of the tuples produced by Next.
+func (it *Iterator) Schema() relation.Schema { return it.schema }
+
+// Reset rewinds the iterator to the first tuple.
+func (it *Iterator) Reset() {
+	it.done = it.f.IsEmpty()
+	it.fresh = !it.done
+	it.roots = it.roots[:0]
+	if it.done {
+		return
+	}
+	for i, u := range it.f.Roots {
+		it.roots = append(it.roots, newUnionCursor(u, it.f.Tree.Roots[i]))
+	}
+}

@@ -1,0 +1,455 @@
+package ftree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// Grocery schema of the paper's Figure 1, as used by query Q1:
+// Orders(oid,item), Store(location,item), Disp(dispatcher,location).
+func groceryRels() []relation.AttrSet {
+	return []relation.AttrSet{
+		relation.NewAttrSet("oid", "item"),
+		relation.NewAttrSet("location", "item"),
+		relation.NewAttrSet("dispatcher", "location"),
+	}
+}
+
+// t1 builds the paper's T1: item -> (oid, location -> dispatcher).
+func t1() *T {
+	item := NewNode("item")
+	item.Add(NewNode("oid"), NewNode("location").Add(NewNode("dispatcher")))
+	return New([]*Node{item}, groceryRels())
+}
+
+// t2 builds the paper's T2: location -> (item -> oid, dispatcher).
+func t2() *T {
+	loc := NewNode("location")
+	loc.Add(NewNode("item").Add(NewNode("oid")), NewNode("dispatcher"))
+	return New([]*Node{loc}, groceryRels())
+}
+
+// t3 builds the paper's T3 for Q2: supplier -> (item, location), over
+// Produce(supplier,item), Serve(supplier,location).
+func t3() *T {
+	sup := NewNode("supplier")
+	sup.Add(NewNode("item"), NewNode("location"))
+	return New([]*Node{sup}, []relation.AttrSet{
+		relation.NewAttrSet("supplier", "item"),
+		relation.NewAttrSet("supplier", "location"),
+	})
+}
+
+func TestValidateGrocery(t *testing.T) {
+	for _, tr := range []*T{t1(), t2(), t3()} {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("valid tree rejected: %v\n%s", err, tr)
+		}
+	}
+}
+
+func TestValidateRejectsDuplicateAttr(t *testing.T) {
+	n := NewNode("A").Add(NewNode("A"))
+	tr := New([]*Node{n}, nil)
+	if err := tr.Validate(); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+}
+
+func TestValidateRejectsPathViolation(t *testing.T) {
+	// Relation {A,B} but A and B are sibling roots: violates path constraint.
+	tr := New([]*Node{NewNode("A"), NewNode("B")},
+		[]relation.AttrSet{relation.NewAttrSet("A", "B")})
+	if err := tr.Validate(); err == nil {
+		t.Fatal("path constraint violation accepted")
+	}
+}
+
+func TestExample4Costs(t *testing.T) {
+	// Example 4: s(T1) = s(T2) = 2, s(T3) = 1.
+	if s := t1().S(); math.Abs(s-2) > 1e-6 {
+		t.Errorf("s(T1) = %v, want 2", s)
+	}
+	if s := t2().S(); math.Abs(s-2) > 1e-6 {
+		t.Errorf("s(T2) = %v, want 2", s)
+	}
+	if s := t3().S(); math.Abs(s-1) > 1e-6 {
+		t.Errorf("s(T3) = %v, want 1", s)
+	}
+}
+
+func TestCoverTriangle(t *testing.T) {
+	// Fractional cover of the triangle query path: 3 classes, 3 binary
+	// relations in a cycle -> 1.5.
+	rels := []relation.AttrSet{
+		relation.NewAttrSet("A", "B"),
+		relation.NewAttrSet("B", "C"),
+		relation.NewAttrSet("C", "A"),
+	}
+	classes := []relation.AttrSet{
+		relation.NewAttrSet("A"),
+		relation.NewAttrSet("B"),
+		relation.NewAttrSet("C"),
+	}
+	if c := Cover(rels, classes); math.Abs(c-1.5) > 1e-6 {
+		t.Fatalf("triangle cover = %v, want 1.5", c)
+	}
+}
+
+func TestCoverUncoverable(t *testing.T) {
+	c := Cover(nil, []relation.AttrSet{relation.NewAttrSet("A")})
+	if !math.IsInf(c, 1) {
+		t.Fatalf("cover of uncoverable class = %v, want +Inf", c)
+	}
+}
+
+func TestNodeLookupAndPaths(t *testing.T) {
+	tr := t1()
+	item := tr.NodeOf("item")
+	disp := tr.NodeOf("dispatcher")
+	loc := tr.NodeOf("location")
+	if item == nil || disp == nil || loc == nil {
+		t.Fatal("NodeOf failed")
+	}
+	if tr.NodeOf("nope") != nil {
+		t.Fatal("NodeOf found a ghost")
+	}
+	if tr.ParentOf(item) != nil {
+		t.Fatal("root has a parent")
+	}
+	if tr.ParentOf(disp) != loc {
+		t.Fatal("wrong parent for dispatcher")
+	}
+	if !tr.IsAncestor(item, disp) {
+		t.Fatal("item should be ancestor of dispatcher")
+	}
+	if tr.IsAncestor(disp, item) {
+		t.Fatal("dispatcher is not an ancestor of item")
+	}
+	p := tr.PathTo(disp)
+	if len(p) != 3 || p[0] != item || p[1] != loc || p[2] != disp {
+		t.Fatalf("PathTo(dispatcher) wrong: %v", p)
+	}
+}
+
+// Example 7: normalising the chain {B,B'} - A - {D,D'} - {C,C'} - E with
+// relations {A,B}, {B',C}, {C',D}, {D',E} pushes E beside {C,C'} and then
+// {D,D'} beside A.
+func example7Tree() *T {
+	e := NewNode("E")
+	cc := NewNode("C", "C'")
+	dd := NewNode("D", "D'").Add(cc)
+	cc.Add(e)
+	a := NewNode("A").Add(dd)
+	bb := NewNode("B", "B'").Add(a)
+	return New([]*Node{bb}, []relation.AttrSet{
+		relation.NewAttrSet("A", "B"),
+		relation.NewAttrSet("B'", "C"),
+		relation.NewAttrSet("C'", "D"),
+		relation.NewAttrSet("D'", "E"),
+	})
+}
+
+func TestExample7Normalise(t *testing.T) {
+	tr := example7Tree()
+	if tr.IsNormalised() {
+		t.Fatal("example 7 input should not be normalised")
+	}
+	steps := tr.NormaliseSteps()
+	if len(steps) == 0 {
+		t.Fatal("no push-ups performed")
+	}
+	if !tr.IsNormalised() {
+		t.Fatalf("tree not normalised after NormaliseSteps:\n%s", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("normalised tree invalid: %v", err)
+	}
+	// Expected final shape: {B,B'} with children A and {D,D'};
+	// {D,D'} with children E and {C,C'}.
+	bb := tr.NodeOf("B")
+	if len(tr.Roots) != 1 || tr.Roots[0] != bb {
+		t.Fatalf("root should be {B,B'}:\n%s", tr)
+	}
+	dd := tr.NodeOf("D")
+	if tr.ParentOf(dd) != bb {
+		t.Fatalf("{D,D'} should be child of {B,B'}:\n%s", tr)
+	}
+	if tr.ParentOf(tr.NodeOf("A")) != bb {
+		t.Fatalf("A should be child of {B,B'}:\n%s", tr)
+	}
+	if tr.ParentOf(tr.NodeOf("E")) != dd {
+		t.Fatalf("E should be child of {D,D'}:\n%s", tr)
+	}
+	if tr.ParentOf(tr.NodeOf("C")) != dd {
+		t.Fatalf("{C,C'} should be child of {D,D'}:\n%s", tr)
+	}
+	// Normalisation can only decrease s(T).
+	if tr.S() > example7Tree().S()+1e-9 {
+		t.Fatal("normalisation increased s(T)")
+	}
+}
+
+func TestNormaliseIdempotent(t *testing.T) {
+	tr := example7Tree()
+	tr.NormaliseSteps()
+	c1 := tr.Canonical()
+	steps := tr.NormaliseSteps()
+	if len(steps) != 0 || tr.Canonical() != c1 {
+		t.Fatal("normalisation is not idempotent")
+	}
+}
+
+// TestSwapT1T2 checks Example 8: swapping item and location in T1 yields T2.
+func TestSwapT1T2(t *testing.T) {
+	tr := t1()
+	if err := tr.Swap("item", "location"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("swapped tree invalid: %v", err)
+	}
+	if tr.Canonical() != t2().Canonical() {
+		t.Fatalf("swap(item,location) on T1:\n%s\nwant T2:\n%s", tr, t2())
+	}
+	if !tr.IsNormalised() {
+		t.Fatal("swap should preserve normalisation")
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	tr := t1()
+	if err := tr.Swap("location", "item"); err == nil {
+		t.Fatal("swap with child as first argument accepted")
+	}
+	if err := tr.Swap("item", "dispatcher"); err == nil {
+		t.Fatal("swap of non-parent-child accepted")
+	}
+	if err := tr.Swap("item", "ghost"); err == nil {
+		t.Fatal("swap of unknown attribute accepted")
+	}
+}
+
+// Example 11 trees: root {A,D}, children B (child C) and E (child F), with
+// relations {A,B,C} and {D,E,F}.
+func example11Tree() *T {
+	b := NewNode("B").Add(NewNode("C"))
+	e := NewNode("E").Add(NewNode("F"))
+	ad := NewNode("A", "D").Add(b, e)
+	return New([]*Node{ad}, []relation.AttrSet{
+		relation.NewAttrSet("A", "B", "C"),
+		relation.NewAttrSet("D", "E", "F"),
+	})
+}
+
+func TestExample11PlanCosts(t *testing.T) {
+	// Input cost 1.
+	in := example11Tree()
+	if s := in.S(); math.Abs(s-1) > 1e-6 {
+		t.Fatalf("s(input) = %v, want 1", s)
+	}
+
+	// Plan 1: swap({A,D}, B) then absorb(B, F): intermediate cost 2.
+	p1 := in.Clone()
+	if err := p1.Swap("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Validate(); err != nil {
+		t.Fatalf("after swap: %v", err)
+	}
+	if s := p1.S(); math.Abs(s-2) > 1e-6 {
+		t.Fatalf("s(intermediate) = %v, want 2", s)
+	}
+	// B must now be root with {A,D} below, C and E under {A,D}.
+	b := p1.NodeOf("B")
+	if p1.ParentOf(b) != nil {
+		t.Fatalf("B should be root after swap:\n%s", p1)
+	}
+	ad := p1.NodeOf("A")
+	if p1.ParentOf(ad) != b {
+		t.Fatalf("{A,D} should be child of B:\n%s", p1)
+	}
+	if p1.ParentOf(p1.NodeOf("C")) != ad || p1.ParentOf(p1.NodeOf("E")) != ad {
+		t.Fatalf("C and E should hang under {A,D}:\n%s", p1)
+	}
+
+	// Plan 2: swap(E, F) then merge(B, F): all trees cost 1.
+	p2 := in.Clone()
+	if err := p2.Swap("E", "F"); err != nil {
+		t.Fatal(err)
+	}
+	if s := p2.S(); math.Abs(s-1) > 1e-6 {
+		t.Fatalf("s(after swap E,F) = %v, want 1", s)
+	}
+	if !p2.AreSiblings("B", "F") {
+		t.Fatalf("B and F should be siblings:\n%s", p2)
+	}
+	if err := p2.Merge("B", "F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("after merge: %v", err)
+	}
+	if s := p2.S(); math.Abs(s-1) > 1e-6 {
+		t.Fatalf("s(final) = %v, want 1", s)
+	}
+	bf := p2.NodeOf("B")
+	if bf != p2.NodeOf("F") {
+		t.Fatalf("B and F should share a node:\n%s", p2)
+	}
+	if len(bf.Children) != 2 {
+		t.Fatalf("{B,F} should keep children C and E:\n%s", p2)
+	}
+}
+
+// Example 10: absorbing {C,C'} into A on the chain A - {B,B'} - {C,C'} - D
+// with relations {A,B}, {B',C}, {C',D} makes D independent, so
+// normalisation pushes D up beside {B,B'}.
+func TestExample10Absorb(t *testing.T) {
+	d := NewNode("D")
+	cc := NewNode("C", "C'").Add(d)
+	bb := NewNode("B", "B'").Add(cc)
+	a := NewNode("A").Add(bb)
+	tr := New([]*Node{a}, []relation.AttrSet{
+		relation.NewAttrSet("A", "B"),
+		relation.NewAttrSet("B'", "C"),
+		relation.NewAttrSet("C'", "D"),
+	})
+	if err := tr.AbsorbSplice("A", "C"); err != nil {
+		t.Fatal(err)
+	}
+	tr.NormaliseSteps()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after absorb: %v", err)
+	}
+	root := tr.NodeOf("A")
+	if root != tr.NodeOf("C") || root != tr.NodeOf("C'") {
+		t.Fatalf("A, C, C' should share the root node:\n%s", tr)
+	}
+	if tr.ParentOf(tr.NodeOf("B")) != root {
+		t.Fatalf("{B,B'} should be child of root:\n%s", tr)
+	}
+	if tr.ParentOf(tr.NodeOf("D")) != root {
+		t.Fatalf("D should have been pushed up beside {B,B'}:\n%s", tr)
+	}
+}
+
+func TestAbsorbErrors(t *testing.T) {
+	tr := t1()
+	if err := tr.AbsorbSplice("dispatcher", "item"); err == nil {
+		t.Fatal("absorb with descendant as first arg accepted")
+	}
+	if err := tr.AbsorbSplice("oid", "dispatcher"); err == nil {
+		t.Fatal("absorb across branches accepted")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	tr := t1()
+	if err := tr.Merge("item", "dispatcher"); err == nil {
+		t.Fatal("merge of non-siblings accepted")
+	}
+}
+
+func TestMergeRoots(t *testing.T) {
+	// Two independent root nodes A and B with relations {A},{B}; merging
+	// them produces a single root {A,B}.
+	tr := New([]*Node{NewNode("A"), NewNode("B")},
+		[]relation.AttrSet{relation.NewAttrSet("A"), relation.NewAttrSet("B")})
+	if !tr.AreSiblings("A", "B") {
+		t.Fatal("two roots should be siblings")
+	}
+	if err := tr.Merge("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Roots) != 1 || len(tr.Roots[0].Attrs) != 2 {
+		t.Fatalf("merged root wrong:\n%s", tr)
+	}
+}
+
+func TestMarkConstIgnoredInCost(t *testing.T) {
+	tr := t1()
+	tr.MarkConst("item")
+	// With item constant, the path location-dispatcher costs 2 still?
+	// location covered by Store or Disp, dispatcher by Disp -> Disp covers
+	// both: cover 1; oid covered by Orders: 1. So s drops from 2 to 1.
+	if s := tr.S(); math.Abs(s-1) > 1e-6 {
+		t.Fatalf("s after const item = %v, want 1", s)
+	}
+	// item is now independent of everything: push-up becomes possible.
+	if tr.DependentSets(relation.NewAttrSet("item"), relation.NewAttrSet("oid")) {
+		t.Fatal("const attribute still reported dependent")
+	}
+}
+
+func TestMarkHiddenMergesDeps(t *testing.T) {
+	// Chain A-B-C via {A,B}, {B,C}; hiding B must make A and C dependent.
+	b := NewNode("B").Add(NewNode("C"))
+	a := NewNode("A").Add(b)
+	tr := New([]*Node{a}, []relation.AttrSet{
+		relation.NewAttrSet("A", "B"),
+		relation.NewAttrSet("B", "C"),
+	})
+	if tr.DependentSets(relation.NewAttrSet("A"), relation.NewAttrSet("C")) {
+		t.Fatal("A and C should start independent")
+	}
+	tr.MarkHidden([]relation.Attribute{"B"})
+	if !tr.DependentSets(relation.NewAttrSet("A"), relation.NewAttrSet("C")) {
+		t.Fatal("hiding the join attribute must induce dependence between A and C")
+	}
+	if len(tr.Deps) != 1 {
+		t.Fatalf("dependency sets not merged: %v", tr.Deps)
+	}
+}
+
+func TestCanonicalStableUnderSiblingOrder(t *testing.T) {
+	x := NewNode("R").Add(NewNode("X"), NewNode("Y"))
+	y := NewNode("R").Add(NewNode("Y"), NewNode("X"))
+	rels := []relation.AttrSet{relation.NewAttrSet("R", "X", "Y")}
+	if New([]*Node{x}, rels).Canonical() != New([]*Node{y}, rels).Canonical() {
+		t.Fatal("canonical form depends on sibling order")
+	}
+}
+
+func TestRemoveLeaf(t *testing.T) {
+	tr := t1()
+	if err := tr.RemoveLeaf(tr.NodeOf("dispatcher")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeOf("dispatcher") != nil {
+		t.Fatal("leaf still present")
+	}
+	if err := tr.RemoveLeaf(tr.NodeOf("item")); err == nil {
+		t.Fatal("removed an inner node")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := t1()
+	cl := tr.Clone()
+	if err := cl.Swap("item", "location"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Canonical() == cl.Canonical() {
+		t.Fatal("clone shares structure with original")
+	}
+}
+
+func TestPushUpErrors(t *testing.T) {
+	tr := t1()
+	if err := tr.PushUp("item"); err == nil {
+		t.Fatal("pushed up a root")
+	}
+	if err := tr.PushUp("ghost"); err == nil {
+		t.Fatal("pushed up a ghost attribute")
+	}
+	// dispatcher depends on location: push-up must fail.
+	if err := tr.PushUp("dispatcher"); err == nil {
+		t.Fatal("dependent push-up accepted")
+	}
+	if tr.CanPushUp("dispatcher") {
+		t.Fatal("CanPushUp(dispatcher) should be false")
+	}
+}

@@ -1,0 +1,113 @@
+package ftree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// quickChain derives a random chain tree over two binary relations from a
+// seed.
+func quickChain(seed int64) *T {
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []relation.Attribute{"A", "B", "C", "D"}
+	rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+	var root, cur *Node
+	for _, a := range attrs {
+		n := NewNode(a)
+		if cur == nil {
+			root = n
+		} else {
+			cur.Add(n)
+		}
+		cur = n
+	}
+	return New([]*Node{root}, []relation.AttrSet{
+		relation.NewAttrSet("A", "B"),
+		relation.NewAttrSet("C", "D"),
+	})
+}
+
+// Property: normalisation is idempotent and never increases s(T).
+func TestQuickNormaliseIdempotentAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := quickChain(seed)
+		before := tr.S()
+		tr.NormaliseSteps()
+		if !tr.IsNormalised() || tr.Validate() != nil {
+			return false
+		}
+		after := tr.S()
+		if after > before+1e-9 {
+			return false
+		}
+		c := tr.Canonical()
+		if steps := tr.NormaliseSteps(); len(steps) != 0 || tr.Canonical() != c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: swapping a random parent-child pair preserves validity,
+// normalisation and the attribute set, and swapping back restores the
+// canonical form.
+func TestQuickSwapInvolution(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		tr := quickChain(seed)
+		tr.NormaliseSteps()
+		// Collect parent-child pairs.
+		type pair struct{ p, c relation.Attribute }
+		var pairs []pair
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			for _, c := range n.Children {
+				pairs = append(pairs, pair{n.Attrs[0], c.Attrs[0]})
+				walk(c)
+			}
+		}
+		for _, r := range tr.Roots {
+			walk(r)
+		}
+		if len(pairs) == 0 {
+			return true
+		}
+		pr := pairs[int(pick)%len(pairs)]
+		before := tr.Canonical()
+		if err := tr.Swap(pr.p, pr.c); err != nil {
+			return false
+		}
+		if tr.Validate() != nil || !tr.IsNormalised() {
+			return false
+		}
+		// Swap back: the child is now the parent.
+		if err := tr.Swap(pr.c, pr.p); err != nil {
+			return false
+		}
+		return tr.Canonical() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone preserves the canonical form and isolates mutation.
+func TestQuickClone(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := quickChain(seed)
+		cl := tr.Clone()
+		if cl.Canonical() != tr.Canonical() {
+			return false
+		}
+		cl.MarkConst("A")
+		return !tr.Consts.Has("A")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

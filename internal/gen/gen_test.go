@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestRandomSchemaCoversAllAttributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := RandomSchema(rng, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Relations) != 4 {
+		t.Fatalf("got %d relations", len(s.Relations))
+	}
+	seen := relation.AttrSet{}
+	total := 0
+	for _, sch := range s.Relations {
+		if len(sch) == 0 {
+			t.Fatal("empty relation schema")
+		}
+		for _, a := range sch {
+			if seen.Has(a) {
+				t.Fatalf("attribute %s assigned twice", a)
+			}
+			seen.Add(a)
+			total++
+		}
+	}
+	if total != 11 {
+		t.Fatalf("distributed %d attributes, want 11", total)
+	}
+	if _, err := RandomSchema(rng, 5, 3); err == nil {
+		t.Fatal("more relations than attributes accepted")
+	}
+}
+
+func TestRandomEqualitiesNonRedundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := RandomSchema(rng, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs, err := RandomEqualities(rng, s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) != 5 {
+		t.Fatalf("got %d equalities", len(eqs))
+	}
+	// Union-find: each equality must merge two distinct classes, so 5
+	// equalities leave 9-5 = 4 classes.
+	parent := map[relation.Attribute]relation.Attribute{}
+	var find func(a relation.Attribute) relation.Attribute
+	find = func(a relation.Attribute) relation.Attribute {
+		if parent[a] == a {
+			return a
+		}
+		r := find(parent[a])
+		parent[a] = r
+		return r
+	}
+	for _, sch := range s.Relations {
+		for _, a := range sch {
+			parent[a] = a
+		}
+	}
+	for _, e := range eqs {
+		if find(e.A) == find(e.B) {
+			t.Fatalf("redundant equality %v", e)
+		}
+		parent[find(e.B)] = find(e.A)
+	}
+	if _, err := RandomEqualities(rng, s, 9); err == nil {
+		t.Fatal("k >= A accepted")
+	}
+}
+
+func TestSamplerRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dist := range []Distribution{Uniform, Zipf} {
+		sm := NewSampler(rng, dist, 100)
+		for i := 0; i < 2000; i++ {
+			v := sm.Draw(rng)
+			if v < 1 || v > 100 {
+				t.Fatalf("%s sample %d out of [1,100]", dist, v)
+			}
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sm := NewSampler(rng, Zipf, 100)
+	low := 0
+	for i := 0; i < 5000; i++ {
+		if sm.Draw(rng) <= 5 {
+			low++
+		}
+	}
+	// Under a 1.5-exponent Zipf, values <= 5 dominate; under uniform they
+	// would be ~5%.
+	if low < 2500 {
+		t.Fatalf("zipf does not look skewed: %d/5000 samples <= 5", low)
+	}
+}
+
+func TestChainQueryShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := ChainQuery(rng, 4, 10, 5)
+	if len(q.Relations) != 4 || len(q.Equalities) != 3 {
+		t.Fatalf("chain shape wrong: %d relations, %d equalities",
+			len(q.Relations), len(q.Equalities))
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Classes()) != 5 {
+		t.Fatalf("chain of 4 should have 5 classes, got %d", len(q.Classes()))
+	}
+}
+
+func TestGroceryMatchesFigure1(t *testing.T) {
+	rels, dict := Grocery()
+	if len(rels) != 5 {
+		t.Fatalf("got %d relations", len(rels))
+	}
+	cards := []int{5, 6, 4, 4, 5}
+	for i, r := range rels {
+		if r.Cardinality() != cards[i] {
+			t.Fatalf("%s has %d tuples, want %d", r.Name, r.Cardinality(), cards[i])
+		}
+	}
+	if dict.Decode(rels[0].Tuples[0][1]) != "Milk" {
+		t.Fatal("dictionary decoding broken")
+	}
+}
+
+func TestPopulateDedups(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s, err := RandomSchema(rng, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := s.Populate(rng, 1000, NewSampler(rng, Uniform, 3))
+	// Domain 3x3 = 9 possible tuples; 1000 draws must collapse to <= 9.
+	if rels[0].Cardinality() > 9 {
+		t.Fatalf("dedup failed: %d tuples", rels[0].Cardinality())
+	}
+}
+
+func TestCombinatorialQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q, err := CombinatorialQuery(rng, 3, Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 4 || len(q.Equalities) != 3 {
+		t.Fatal("combinatorial query shape wrong")
+	}
+	if len(q.Attributes()) != 10 {
+		t.Fatalf("A = %d, want 10", len(q.Attributes()))
+	}
+}

@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ftree"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// bruteMinS enumerates every rooted forest over the classes (all parent
+// assignments), keeps those satisfying the path constraint, and returns the
+// minimal s — an independent oracle for OptimalFTree. Normalisation never
+// increases s, so the minimum over all valid trees equals the minimum over
+// normalised ones.
+func bruteMinS(classes []relation.AttrSet, rels []relation.AttrSet) float64 {
+	n := len(classes)
+	parent := make([]int, n) // -1 = root
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			// Build the forest; reject cyclic parent assignments.
+			nodes := make([]*ftree.Node, n)
+			for j := range nodes {
+				nodes[j] = ftree.NewNode(classes[j].Sorted()...)
+			}
+			var roots []*ftree.Node
+			for j, p := range parent {
+				if p == -1 {
+					roots = append(roots, nodes[j])
+				} else {
+					nodes[p].Add(nodes[j])
+				}
+			}
+			// Cycle check: count reachable nodes from roots.
+			count := 0
+			var walk func(x *ftree.Node)
+			walk = func(x *ftree.Node) {
+				count++
+				for _, c := range x.Children {
+					walk(c)
+				}
+			}
+			for _, r := range roots {
+				walk(r)
+			}
+			if count != n {
+				return
+			}
+			t := ftree.New(roots, rels)
+			if t.Validate() != nil {
+				return
+			}
+			if s := t.S(); s < best {
+				best = s
+			}
+			return
+		}
+		for p := -1; p < n; p++ {
+			if p == i {
+				continue
+			}
+			parent[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestOptimalFTreeAgainstBruteForce cross-checks the recursive search with
+// exhaustive forest enumeration on small random queries.
+func TestOptimalFTreeAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		r := 1 + rng.Intn(3)
+		a := r + rng.Intn(5-r+1) // at most 5 attributes total
+		sch, err := gen.RandomSchema(rng, r, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 0
+		if a > 1 {
+			k = rng.Intn(min(a-1, 2) + 1)
+		}
+		eqs, err := gen.RandomEqualities(rng, sch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build classes from equalities via the query model.
+		q := &core.Query{Equalities: eqs}
+		for i, s := range sch.Relations {
+			q.Relations = append(q.Relations, relation.New(sch.Names[i], s))
+		}
+		classes := q.Classes()
+		rels := q.Schemas()
+		want := bruteMinS(classes, rels)
+		tr, got, err := OptimalFTree(classes, rels, TreeSearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: OptimalFTree s = %v, brute force = %v\nclasses: %s\ntree:\n%s",
+				trial, got, want, canonicalClasses(classes), tr)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ftree"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// q1Query returns the grocery Q1 query structure (classes and schemas).
+func q1Query() ([]relation.AttrSet, []relation.AttrSet) {
+	classes := []relation.AttrSet{
+		relation.NewAttrSet("o_oid"),
+		relation.NewAttrSet("o_item", "s_item"),
+		relation.NewAttrSet("s_location", "d_location"),
+		relation.NewAttrSet("d_dispatcher"),
+	}
+	rels := []relation.AttrSet{
+		relation.NewAttrSet("o_oid", "o_item"),
+		relation.NewAttrSet("s_location", "s_item"),
+		relation.NewAttrSet("d_dispatcher", "d_location"),
+	}
+	return classes, rels
+}
+
+func TestOptimalFTreeQ1(t *testing.T) {
+	classes, rels := q1Query()
+	tr, s, err := OptimalFTree(classes, rels, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, tr)
+	}
+	if !tr.IsNormalised() {
+		t.Fatalf("optimal tree not normalised:\n%s", tr)
+	}
+	// Example 5: s(Q1) = 2.
+	if math.Abs(s-2) > 1e-6 {
+		t.Fatalf("s(Q1) = %v, want 2\n%s", s, tr)
+	}
+	if math.Abs(tr.S()-s) > 1e-6 {
+		t.Fatalf("reported s %v != tree s %v", s, tr.S())
+	}
+}
+
+func TestOptimalFTreeQ2(t *testing.T) {
+	// Example 5: s(Q2) = 1 (witnessed by T3).
+	classes := []relation.AttrSet{
+		relation.NewAttrSet("p_supplier", "v_supplier"),
+		relation.NewAttrSet("p_item"),
+		relation.NewAttrSet("v_location"),
+	}
+	rels := []relation.AttrSet{
+		relation.NewAttrSet("p_supplier", "p_item"),
+		relation.NewAttrSet("v_supplier", "v_location"),
+	}
+	tr, s, err := OptimalFTree(classes, rels, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-6 {
+		t.Fatalf("s(Q2) = %v, want 1\n%s", s, tr)
+	}
+	// The supplier class must be the root (the T3 shape).
+	if !tr.Roots[0].HasAttr("p_supplier") {
+		t.Fatalf("optimal tree is not T3-shaped:\n%s", tr)
+	}
+}
+
+// TestChainQueryLogS: Example 6, s(Q_n) = Θ(log n) for chain queries. A
+// treedepth-style embedding of the class chain keeps every root-to-leaf
+// path within 4 consecutive classes for n = 8, and 4 consecutive chain
+// classes have fractional cover 2 (two disjoint covering relations), so
+// s(Q8) is still 2 — the growth is logarithmic with a 1/2 factor.
+func TestChainQueryLogS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		n     int
+		wantS float64
+	}{
+		{2, 1},
+		{4, 2},
+		{8, 2},
+	} {
+		q := gen.ChainQuery(rng, tc.n, 4, 10)
+		_, s, err := OptimalFTree(q.Classes(), q.Schemas(), TreeSearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s-tc.wantS) > 1e-6 {
+			t.Errorf("s(chain %d) = %v, want %v", tc.n, s, tc.wantS)
+		}
+	}
+}
+
+func example11Tree() *ftree.T {
+	b := ftree.NewNode("B").Add(ftree.NewNode("C"))
+	e := ftree.NewNode("E").Add(ftree.NewNode("F"))
+	ad := ftree.NewNode("A", "D").Add(b, e)
+	return ftree.New([]*ftree.Node{ad}, []relation.AttrSet{
+		relation.NewAttrSet("A", "B", "C"),
+		relation.NewAttrSet("D", "E", "F"),
+	})
+}
+
+// TestExhaustiveExample11: the optimal plan for B=F has cost 1 (the
+// swap(E,F)+merge(B,F) route), not 2 (the swap-to-root+absorb route).
+func TestExhaustiveExample11(t *testing.T) {
+	res, err := ExhaustivePlan(example11Tree(), []Condition{{A: "B", B: "F"}}, PlanSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("optimal plan cost = %v, want 1 (plan: %s)", res.Cost, res.Plan)
+	}
+	if res.FinalS != 1 {
+		t.Fatalf("final tree cost = %v, want 1", res.FinalS)
+	}
+	if res.Final.NodeOf("B") != res.Final.NodeOf("F") {
+		t.Fatal("plan did not merge B and F")
+	}
+}
+
+func TestGreedyExample11(t *testing.T) {
+	res, err := GreedyPlan(example11Tree(), []Condition{{A: "B", B: "F"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("greedy plan cost = %v, want 1 (plan: %s)", res.Cost, res.Plan)
+	}
+	if res.Final.NodeOf("B") != res.Final.NodeOf("F") {
+		t.Fatal("greedy plan did not merge B and F")
+	}
+}
+
+// TestExhaustiveNeverWorseThanGreedy: on random instances the full search
+// must be at least as good as the heuristic under the lexicographic order,
+// and both must produce valid plans merging all conditions.
+func TestExhaustiveNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	trials := 0
+	for trials < 25 {
+		r := 2 + rng.Intn(2)
+		a := 5 + rng.Intn(3)
+		k := rng.Intn(3)
+		sch, err := gen.RandomSchema(rng, r, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqs, err := gen.RandomEqualities(rng, sch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := &core.Query{Equalities: eqs}
+		for i, rs := range sch.Relations {
+			rel := relation.New(sch.Names[i], rs)
+			q.Relations = append(q.Relations, rel)
+		}
+		tr, _, err := OptimalFTree(q.Classes(), q.Schemas(), TreeSearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fresh conditions on the classes of tr.
+		attrs := q.Attributes()
+		var conds []Condition
+		for tries := 0; tries < 20 && len(conds) < 1+rng.Intn(2); tries++ {
+			x := attrs[rng.Intn(len(attrs))]
+			y := attrs[rng.Intn(len(attrs))]
+			if tr.NodeOf(x) != tr.NodeOf(y) {
+				conds = append(conds, Condition{A: x, B: y})
+				break
+			}
+		}
+		if len(conds) == 0 {
+			continue
+		}
+		trials++
+		full, err := ExhaustivePlan(tr, conds, PlanSearchOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: exhaustive: %v", trials, err)
+		}
+		greedy, err := GreedyPlan(tr, conds)
+		if err != nil {
+			t.Fatalf("trial %d: greedy: %v", trials, err)
+		}
+		if full.Cost > greedy.Cost+1e-9 {
+			t.Fatalf("trial %d: exhaustive cost %v worse than greedy %v\nconds: %v\ntree:\n%s",
+				trials, full.Cost, greedy.Cost, conds, tr)
+		}
+		for _, res := range []PlanResult{full, greedy} {
+			if err := res.Final.Validate(); err != nil {
+				t.Fatalf("trial %d: final tree invalid: %v", trials, err)
+			}
+			for _, c := range conds {
+				if res.Final.NodeOf(c.A) != res.Final.NodeOf(c.B) {
+					t.Fatalf("trial %d: condition %v not enforced by %s", trials, c, res.Plan)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeSearchBudget(t *testing.T) {
+	classes, rels := q1Query()
+	_, _, err := OptimalFTree(classes, rels, TreeSearchOptions{Budget: 1})
+	if err == nil {
+		t.Fatal("budget of 1 should be exceeded")
+	}
+}
+
+func TestCanonicalClasses(t *testing.T) {
+	s := canonicalClasses([]relation.AttrSet{
+		relation.NewAttrSet("B", "A"),
+		relation.NewAttrSet("C"),
+	})
+	if s != "{A,B} {C}" {
+		t.Fatalf("canonicalClasses = %q", s)
+	}
+}

@@ -1,0 +1,181 @@
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/fplan"
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// Condition is an equality A = B to be enforced on an f-representation.
+type Condition struct {
+	A, B relation.Attribute
+}
+
+// PlanResult is the outcome of a plan search.
+type PlanResult struct {
+	Plan     fplan.Plan
+	Cost     float64  // s(f): max s over initial, intermediate and final trees
+	FinalS   float64  // s of the result f-tree
+	Final    *ftree.T // result f-tree
+	Explored int      // states explored (full search) / trees costed (greedy)
+}
+
+// PlanSearchOptions tunes ExhaustivePlan.
+type PlanSearchOptions struct {
+	// Budget caps explored states (0: default 200000).
+	Budget int
+}
+
+// pending returns the conditions not yet satisfied on t (their attributes
+// label different nodes).
+func pending(t *ftree.T, conds []Condition) []Condition {
+	var out []Condition
+	for _, c := range conds {
+		if t.NodeOf(c.A) != t.NodeOf(c.B) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// neighbors enumerates every operator applicable to t: all parent-child
+// swaps, plus merge/absorb for each pending condition where applicable.
+func neighbors(t *ftree.T, conds []Condition) []fplan.Op {
+	var ops []fplan.Op
+	var walk func(n *ftree.Node)
+	walk = func(n *ftree.Node) {
+		for _, c := range n.Children {
+			ops = append(ops, fplan.Swap{A: n.Attrs[0], B: c.Attrs[0]})
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	for _, c := range pending(t, conds) {
+		na, nb := t.NodeOf(c.A), t.NodeOf(c.B)
+		if na == nil || nb == nil {
+			continue
+		}
+		if t.AreSiblings(c.A, c.B) {
+			ops = append(ops, fplan.Merge{A: c.A, B: c.B})
+		} else if t.IsAncestor(na, nb) {
+			ops = append(ops, fplan.Absorb{A: c.A, B: c.B})
+		} else if t.IsAncestor(nb, na) {
+			ops = append(ops, fplan.Absorb{A: c.B, B: c.A})
+		}
+	}
+	return ops
+}
+
+// searchState is one Dijkstra node.
+type searchState struct {
+	tree *ftree.T
+	dist float64 // max s along the best known path from the start
+	plan []fplan.Op
+	key  string
+	idx  int // heap index
+}
+
+type stateHeap []*searchState
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *stateHeap) Push(x interface{}) { s := x.(*searchState); s.idx = len(*h); *h = append(*h, s) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// ExhaustivePlan finds an optimal f-plan enforcing all conditions on an
+// f-representation over t0, under the lexicographic objective of Section
+// 4.1: minimise the maximal s over intermediate trees, then the s of the
+// final tree. It is a Dijkstra traversal with the max metric (the metric is
+// monotone: extending a path can only raise its max, so settled states are
+// final).
+func ExhaustivePlan(t0 *ftree.T, conds []Condition, opts PlanSearchOptions) (PlanResult, error) {
+	budget := opts.Budget
+	if budget == 0 {
+		budget = 200_000
+	}
+	start := &searchState{tree: t0.Clone(), dist: t0.S(), key: t0.Canonical()}
+	states := map[string]*searchState{start.key: start}
+	h := &stateHeap{}
+	heap.Push(h, start)
+	settled := map[string]bool{}
+	explored := 0
+
+	var best *searchState
+	bestFinalS := 0.0
+	for h.Len() > 0 {
+		cur := heap.Pop(h).(*searchState)
+		if settled[cur.key] {
+			continue
+		}
+		settled[cur.key] = true
+		explored++
+		if explored > budget {
+			return PlanResult{}, ErrBudget
+		}
+		if best != nil && cur.dist > best.dist {
+			break // all remaining states are farther than the best final
+		}
+		if len(pending(cur.tree, conds)) == 0 {
+			fs := cur.tree.S()
+			if best == nil || cur.dist < best.dist || (cur.dist == best.dist && fs < bestFinalS) {
+				best, bestFinalS = cur, fs
+			}
+			// Final states are still expanded: further swaps at the same
+			// distance may reach a final tree with smaller s.
+		}
+		for _, op := range neighbors(cur.tree, conds) {
+			nt := cur.tree.Clone()
+			if err := op.ApplyTree(nt); err != nil {
+				return PlanResult{}, fmt.Errorf("opt: applying %s: %w", op, err)
+			}
+			key := nt.Canonical()
+			if settled[key] {
+				continue
+			}
+			d := cur.dist
+			if s := nt.S(); s > d {
+				d = s
+			}
+			if ex, ok := states[key]; ok {
+				if d < ex.dist {
+					ex.dist = d
+					ex.tree = nt
+					ex.plan = appendOp(cur.plan, op)
+					heap.Fix(h, ex.idx)
+				}
+				continue
+			}
+			ns := &searchState{tree: nt, dist: d, plan: appendOp(cur.plan, op), key: key}
+			states[key] = ns
+			heap.Push(h, ns)
+		}
+	}
+	if best == nil {
+		return PlanResult{}, fmt.Errorf("opt: no plan found for conditions %v", conds)
+	}
+	return PlanResult{
+		Plan:     fplan.Plan{Ops: best.plan},
+		Cost:     best.dist,
+		FinalS:   bestFinalS,
+		Final:    best.tree,
+		Explored: explored,
+	}, nil
+}
+
+func appendOp(plan []fplan.Op, op fplan.Op) []fplan.Op {
+	out := make([]fplan.Op, 0, len(plan)+1)
+	out = append(out, plan...)
+	return append(out, op)
+}

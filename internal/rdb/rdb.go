@@ -1,0 +1,327 @@
+// Package rdb is the homebred in-memory relational baseline of the paper's
+// evaluation ("RDB", Section 5): it evaluates equi-join queries with a
+// hand-crafted optimal plan — a multi-way sort-merge (leapfrog) join over a
+// connected attribute-class order — producing flat tuples. Output is
+// counted by default; materialisation is optional, and a configurable
+// budget mirrors the paper's 100-second timeout for the cases where the
+// flat result explodes.
+package rdb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Options controls evaluation.
+type Options struct {
+	// Timeout aborts evaluation (0: none). Checked every few thousand
+	// emitted tuples.
+	Timeout time.Duration
+	// MaxTuples aborts after this many result tuples (0: none).
+	MaxTuples int64
+	// Materialize collects the result relation (otherwise count only).
+	Materialize bool
+}
+
+// Result reports a (possibly aborted) evaluation.
+type Result struct {
+	Tuples   int64
+	Elements int64 // tuples x number of attributes: "# of data elements"
+	TimedOut bool
+	Relation *relation.Relation // set when materialised and not timed out
+	Duration time.Duration
+}
+
+// Evaluate runs the query. Constant selections are applied while scanning;
+// projections are applied on the materialised result (the experiments of
+// the paper use projection-free equi-joins).
+func Evaluate(q *core.Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Projection != nil && !opts.Materialize {
+		return nil, fmt.Errorf("rdb: projection requires materialisation")
+	}
+	start := time.Now()
+
+	// Apply constant selections up front.
+	rels := make([]*relation.Relation, len(q.Relations))
+	for i, r := range q.Relations {
+		rels[i] = applyConstSels(r, q.Selections)
+	}
+
+	classes := q.Classes()
+	order := classOrder(classes, q.Schemas())
+
+	// Per relation: columns per ordered class, sort, range state.
+	type relState struct {
+		rel    *relation.Relation
+		cols   [][]int // per class position in order (nil if absent)
+		lo, hi []int   // range stack per depth
+	}
+	states := make([]*relState, len(rels))
+	for i, r := range rels {
+		st := &relState{rel: r, cols: make([][]int, len(order))}
+		var sortAttrs []relation.Attribute
+		for ci, cls := range order {
+			for j, a := range r.Schema {
+				if classes[cls].Has(a) {
+					st.cols[ci] = append(st.cols[ci], j)
+					sortAttrs = append(sortAttrs, a)
+				}
+			}
+		}
+		r.SortBy(sortAttrs)
+		st.lo = make([]int, len(order)+1)
+		st.hi = make([]int, len(order)+1)
+		st.lo[0], st.hi[0] = 0, r.Cardinality()
+		states[i] = st
+	}
+
+	res := &Result{}
+	arity := int64(len(q.Attributes()))
+	var out *relation.Relation
+	schema := relation.Schema(q.Attributes())
+	if opts.Materialize {
+		out = relation.New("result", schema)
+	}
+	assign := make([]relation.Value, len(order))
+	attrPos := map[relation.Attribute]int{}
+	for i, a := range schema {
+		attrPos[a] = i
+	}
+
+	checkEvery := int64(4096)
+	emitted := int64(0)
+	deadlineHit := false
+
+	seek := func(st *relState, col int, v relation.Value, lo, hi int) int {
+		return lo + sort.Search(hi-lo, func(i int) bool {
+			return st.rel.Tuples[lo+i][col] >= v
+		})
+	}
+
+	var rec func(depth int) bool // false = aborted
+	rec = func(depth int) bool {
+		if depth == len(order) {
+			emitted++
+			if opts.Materialize {
+				t := make(relation.Tuple, len(schema))
+				for ci, cls := range order {
+					for a := range classes[cls] {
+						t[attrPos[a]] = assign[ci]
+					}
+				}
+				out.AppendTuple(t)
+			}
+			if opts.MaxTuples > 0 && emitted >= opts.MaxTuples {
+				deadlineHit = true
+				return false
+			}
+			if emitted%checkEvery == 0 && opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+				deadlineHit = true
+				return false
+			}
+			return true
+		}
+		var active []*relState
+		for _, st := range states {
+			if st.cols[depth] != nil {
+				active = append(active, st)
+			} else {
+				st.lo[depth+1], st.hi[depth+1] = st.lo[depth], st.hi[depth]
+			}
+		}
+		if len(active) == 0 {
+			return rec(depth + 1) // class with no relation: impossible for query classes
+		}
+		cur := make([]int, len(active))
+		for i, st := range active {
+			cur[i] = st.lo[depth]
+		}
+		for {
+			var v relation.Value
+			for i, st := range active {
+				if cur[i] >= st.hi[depth] {
+					return true
+				}
+				if val := st.rel.Tuples[cur[i]][st.cols[depth][0]]; i == 0 || val > v {
+					v = val
+				}
+			}
+			agreed := true
+			for i, st := range active {
+				col := st.cols[depth][0]
+				cur[i] = seek(st, col, v, cur[i], st.hi[depth])
+				if cur[i] >= st.hi[depth] {
+					return true
+				}
+				if st.rel.Tuples[cur[i]][col] != v {
+					agreed = false
+				}
+			}
+			if !agreed {
+				continue
+			}
+			ok := true
+			for i, st := range active {
+				cols := st.cols[depth]
+				lo := cur[i]
+				hi := seek(st, cols[0], v+1, lo, st.hi[depth])
+				for _, c := range cols[1:] {
+					lo = seek(st, c, v, lo, hi)
+					hi = seek(st, c, v+1, lo, hi)
+				}
+				if lo >= hi {
+					ok = false
+				}
+				st.lo[depth+1], st.hi[depth+1] = lo, hi
+			}
+			if ok {
+				assign[depth] = v
+				if !rec(depth + 1) {
+					return false
+				}
+			}
+			for i, st := range active {
+				cur[i] = seek(st, st.cols[depth][0], v+1, cur[i], st.hi[depth])
+			}
+		}
+	}
+	finished := rec(0)
+	res.Tuples = emitted
+	res.Elements = emitted * arity
+	res.TimedOut = !finished && deadlineHit
+	res.Duration = time.Since(start)
+	if opts.Materialize && finished {
+		if q.Projection != nil {
+			out = out.Project(q.Projection)
+			res.Tuples = int64(out.Cardinality())
+			res.Elements = res.Tuples * int64(len(out.Schema))
+		}
+		res.Relation = out
+	}
+	return res, nil
+}
+
+// applyConstSels filters a relation by the constant selections that concern
+// its attributes.
+func applyConstSels(r *relation.Relation, sels []core.ConstSel) *relation.Relation {
+	var mine []core.ConstSel
+	for _, s := range sels {
+		if r.Schema.Contains(s.A) {
+			mine = append(mine, s)
+		}
+	}
+	out := r.Clone()
+	if len(mine) == 0 {
+		return out
+	}
+	return out.Select(func(t relation.Tuple) bool {
+		for _, s := range mine {
+			if !s.Match(t[r.Schema.Index(s.A)]) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// classOrder picks a total order of class indices: start at the class
+// touching the most relations, then repeatedly take a class connected (via
+// a shared relation) to the chosen prefix — the hand-crafted "optimal
+// relational join plan" of the paper's setup.
+func classOrder(classes []relation.AttrSet, rels []relation.AttrSet) []int {
+	n := len(classes)
+	sig := make([]uint64, n)
+	for i, c := range classes {
+		for j, r := range rels {
+			if r.Intersects(c) {
+				sig[i] |= 1 << uint(j)
+			}
+		}
+	}
+	used := make([]bool, n)
+	var order []int
+	var usedSig uint64
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			bc, ic := sig[best]&usedSig != 0, sig[i]&usedSig != 0
+			switch {
+			case ic && !bc:
+				best = i
+			case ic == bc && popcount(sig[i]) > popcount(sig[best]):
+				best = i
+			}
+		}
+		used[best] = true
+		usedSig |= sig[best]
+		order = append(order, best)
+	}
+	return order
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// SelectEqualities evaluates a conjunction of attribute equalities on a
+// single flat relation with one scan — RDB's task in Experiment 4.
+func SelectEqualities(r *relation.Relation, conds [][2]relation.Attribute, opts Options) (*Result, error) {
+	start := time.Now()
+	cols := make([][2]int, len(conds))
+	for i, c := range conds {
+		a, b := r.Schema.Index(c[0]), r.Schema.Index(c[1])
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("rdb: equality %v references unknown attribute", c)
+		}
+		cols[i] = [2]int{a, b}
+	}
+	res := &Result{}
+	var out *relation.Relation
+	if opts.Materialize {
+		out = relation.New("result", r.Schema)
+	}
+	for i, t := range r.Tuples {
+		if opts.Timeout > 0 && i%8192 == 0 && time.Since(start) > opts.Timeout {
+			res.TimedOut = true
+			break
+		}
+		ok := true
+		for _, c := range cols {
+			if t[c[0]] != t[c[1]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Tuples++
+			if opts.Materialize {
+				out.AppendTuple(t)
+			}
+		}
+	}
+	res.Elements = res.Tuples * int64(len(r.Schema))
+	res.Duration = time.Since(start)
+	if opts.Materialize && !res.TimedOut {
+		res.Relation = out
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package rdb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fplan"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+func TestAgainstReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		r := 1 + rng.Intn(3)
+		a := r + rng.Intn(4)
+		k := rng.Intn(min(a-1, 3) + 1)
+		q, err := gen.RandomQuery(rng, r, a, 1+rng.Intn(8), k, gen.Uniform, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.EvaluateFlat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate(q, Options{Materialize: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Tuples != int64(want.Cardinality()) {
+			t.Fatalf("trial %d: rdb %d tuples, reference %d", trial, res.Tuples, want.Cardinality())
+		}
+		if res.Relation != nil && !res.Relation.Project(want.Schema).Equal(want) {
+			t.Fatalf("trial %d: rdb relation mismatch", trial)
+		}
+	}
+}
+
+func TestConstSelections(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	q, err := gen.RandomQuery(rng, 2, 4, 10, 1, gen.Uniform, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Selections = []core.ConstSel{{A: q.Relations[0].Schema[0], Op: fplan.Le, C: 3}}
+	want, err := q.EvaluateFlat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != int64(want.Cardinality()) {
+		t.Fatalf("rdb %d tuples, reference %d", res.Tuples, want.Cardinality())
+	}
+}
+
+func TestMaxTuplesAborts(t *testing.T) {
+	// Cartesian product of two 20-tuple relations: 400 tuples; cap at 10.
+	a := relation.New("A", relation.Schema{"X"})
+	b := relation.New("B", relation.Schema{"Y"})
+	for i := 0; i < 20; i++ {
+		a.Append(relation.Value(i))
+		b.Append(relation.Value(i))
+	}
+	q := &core.Query{Relations: []*relation.Relation{a, b}}
+	res, err := Evaluate(q, Options{MaxTuples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Tuples != 10 {
+		t.Fatalf("expected abort at 10 tuples, got %d (timedOut=%v)", res.Tuples, res.TimedOut)
+	}
+}
+
+func TestTimeoutZeroMeansNone(t *testing.T) {
+	a := relation.New("A", relation.Schema{"X"})
+	a.Append(1)
+	q := &core.Query{Relations: []*relation.Relation{a}}
+	res, err := Evaluate(q, Options{Timeout: 0 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut || res.Tuples != 1 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestSelectEqualities(t *testing.T) {
+	r := relation.New("R", relation.Schema{"A", "B", "C"})
+	r.Append(1, 1, 2)
+	r.Append(1, 2, 2)
+	r.Append(3, 3, 3)
+	res, err := SelectEqualities(r, [][2]relation.Attribute{{"A", "B"}}, Options{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 2 {
+		t.Fatalf("selection returned %d tuples, want 2", res.Tuples)
+	}
+	res2, err := SelectEqualities(r, [][2]relation.Attribute{{"A", "B"}, {"B", "C"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Tuples != 1 {
+		t.Fatalf("double selection returned %d tuples, want 1", res2.Tuples)
+	}
+	if _, err := SelectEqualities(r, [][2]relation.Attribute{{"A", "Z"}}, Options{}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+// Package relation provides the flat relational substrate used throughout
+// the FDB engine: attributes, schemas, dictionary-encoded values, in-memory
+// relations, sorting, and basic relational algebra used by the baselines and
+// by tests as ground truth.
+//
+// The paper's experiments hold each data value in an 8-byte integer; string
+// data is supported through per-database dictionary encoding (see Dict), so
+// the engine core only ever manipulates Value (int64).
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is a single data value. All engine-internal values are int64; string
+// attributes are dictionary-encoded (see Dict). A singleton <A:v> of the
+// paper holds exactly one Value.
+type Value int64
+
+// Attribute names a column. Attributes are global to a database: two
+// relations sharing an attribute name do NOT implicitly join (joins are
+// explicit equalities); names are only identifiers.
+type Attribute string
+
+// Schema is an ordered list of distinct attributes.
+type Schema []Attribute
+
+// Index returns the position of a in s, or -1 if absent.
+func (s Schema) Index(a Attribute) int {
+	for i, b := range s {
+		if a == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether a is part of the schema.
+func (s Schema) Contains(a Attribute) bool { return s.Index(a) >= 0 }
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two schemas have the same attributes in the same
+// order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate returns an error if the schema has duplicate attributes or empty
+// names.
+func (s Schema) Validate() error {
+	seen := make(map[Attribute]bool, len(s))
+	for _, a := range s {
+		if a == "" {
+			return fmt.Errorf("relation: empty attribute name in schema %v", s)
+		}
+		if seen[a] {
+			return fmt.Errorf("relation: duplicate attribute %q in schema", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// AttrSet is a set of attributes, used for dependency sets and projections.
+type AttrSet map[Attribute]bool
+
+// NewAttrSet builds a set from the given attributes.
+func NewAttrSet(attrs ...Attribute) AttrSet {
+	s := make(AttrSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = true
+	}
+	return s
+}
+
+// Add inserts a into the set.
+func (s AttrSet) Add(a Attribute) { s[a] = true }
+
+// Has reports membership.
+func (s AttrSet) Has(a Attribute) bool { return s[a] }
+
+// Union returns a new set with the elements of both.
+func (s AttrSet) Union(o AttrSet) AttrSet {
+	out := make(AttrSet, len(s)+len(o))
+	for a := range s {
+		out[a] = true
+	}
+	for a := range o {
+		out[a] = true
+	}
+	return out
+}
+
+// Intersects reports whether the two sets share an element.
+func (s AttrSet) Intersects(o AttrSet) bool {
+	if len(o) < len(s) {
+		s, o = o, s
+	}
+	for a := range s {
+		if o[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of the set.
+func (s AttrSet) Clone() AttrSet {
+	out := make(AttrSet, len(s))
+	for a := range s {
+		out[a] = true
+	}
+	return out
+}
+
+// Sorted returns the set's attributes in lexicographic order.
+func (s AttrSet) Sorted() []Attribute {
+	out := make([]Attribute, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Dict dictionary-encodes strings as Values. It is the bridge between
+// human-readable data (e.g. the grocery example of the paper's Figure 1) and
+// the integer-only engine core. The zero Dict is ready to use after NewDict.
+type Dict struct {
+	toID map[string]Value
+	toS  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{toID: make(map[string]Value)}
+}
+
+// Encode returns the Value for s, assigning a fresh id on first use.
+func (d *Dict) Encode(s string) Value {
+	if v, ok := d.toID[s]; ok {
+		return v
+	}
+	v := Value(len(d.toS))
+	d.toID[s] = v
+	d.toS = append(d.toS, s)
+	return v
+}
+
+// Decode returns the string for v, or a numeric rendering if v was never
+// assigned by this dictionary.
+func (d *Dict) Decode(v Value) string {
+	if v >= 0 && int(v) < len(d.toS) {
+		return d.toS[v]
+	}
+	return fmt.Sprintf("%d", int64(v))
+}
+
+// Len returns the number of distinct encoded strings.
+func (d *Dict) Len() int { return len(d.toS) }

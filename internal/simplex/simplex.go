@@ -1,0 +1,208 @@
+// Package simplex implements a small dense two-phase primal simplex solver
+// for linear programs in the form
+//
+//	minimise  c·x
+//	subject to A·x >= b,  x >= 0
+//
+// It replaces the GLPK dependency of the paper's C++ implementation. The
+// programs solved by FDB are fractional edge covers (Section 2 of the
+// paper): at most one variable per relation and one constraint per
+// attribute class on a root-to-leaf path, so a dense tableau is more than
+// adequate.
+package simplex
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when no x >= 0 satisfies the constraints.
+var ErrInfeasible = errors.New("simplex: infeasible program")
+
+// ErrUnbounded is returned when the objective can decrease without bound.
+var ErrUnbounded = errors.New("simplex: unbounded program")
+
+const eps = 1e-9
+
+// Minimize solves: min c·x subject to A·x >= b, x >= 0.
+// Each row A[i] must have len(c) entries. It returns the optimal objective
+// value and an optimal solution vector.
+func Minimize(c []float64, a [][]float64, b []float64) (float64, []float64, error) {
+	n := len(c)
+	m := len(a)
+	for i := range a {
+		if len(a[i]) != n {
+			return 0, nil, errors.New("simplex: ragged constraint matrix")
+		}
+	}
+	if len(b) != m {
+		return 0, nil, errors.New("simplex: len(b) != rows of A")
+	}
+	if m == 0 {
+		// No constraints: minimum of c·x over x>=0 is 0 if c >= 0.
+		for _, ci := range c {
+			if ci < -eps {
+				return 0, nil, ErrUnbounded
+			}
+		}
+		return 0, make([]float64, n), nil
+	}
+
+	// Convert A·x >= b into equalities with surplus variables s >= 0:
+	//   A·x - s = b.
+	// Ensure b >= 0 by flipping rows, then add artificial variables for
+	// phase 1.
+	//
+	// Tableau layout: columns [x (n) | surplus (m) | artificial (m) | rhs].
+	cols := n + 2*m + 1
+	t := make([][]float64, m+1) // last row is the objective
+	for i := 0; i <= m; i++ {
+		t[i] = make([]float64, cols)
+	}
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * a[i][j]
+		}
+		t[i][n+i] = -sign // surplus
+		t[i][n+m+i] = 1   // artificial
+		t[i][cols-1] = sign * b[i]
+		basis[i] = n + m + i
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	obj := t[m]
+	for j := 0; j < cols; j++ {
+		obj[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < cols; j++ {
+			obj[j] -= t[i][j]
+		}
+	}
+	// Do not let artificial columns enter: their reduced costs start at 0
+	// after the subtraction above except their own column which is -1+1=0.
+	// Recompute properly: objective row = -(sum of constraint rows) over
+	// x/surplus columns, 0 on artificial columns.
+	for i := 0; i < m; i++ {
+		obj[n+m+i] = 0
+	}
+	if err := pivotLoop(t, basis, n+m, cols); err != nil {
+		return 0, nil, err
+	}
+	if t[m][cols-1] < -eps {
+		return 0, nil, ErrInfeasible
+	}
+	// Drive any artificial variables out of the basis if possible; a row
+	// with no eligible pivot is redundant and its artificial stays at 0.
+	for i := 0; i < m; i++ {
+		if basis[i] >= n+m {
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j, cols)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimise c·x. Rebuild the objective row in terms of the
+	// current basis.
+	for j := 0; j < cols; j++ {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = c[j]
+	}
+	for i := 0; i < m; i++ {
+		bi := basis[i]
+		var cb float64
+		if bi < n {
+			cb = c[bi]
+		}
+		if cb != 0 {
+			for j := 0; j < cols; j++ {
+				obj[j] -= cb * t[i][j]
+			}
+		}
+	}
+	// Artificial columns cannot re-enter: pivotLoop only searches the first
+	// n+m columns.
+	if err := pivotLoop(t, basis, n+m, cols); err != nil {
+		return 0, nil, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][cols-1]
+		}
+	}
+	var val float64
+	for j := 0; j < n; j++ {
+		val += c[j] * x[j]
+	}
+	return val, x, nil
+}
+
+// pivotLoop runs Dantzig-rule pivoting over the first nCols columns until no
+// negative reduced cost remains.
+func pivotLoop(t [][]float64, basis []int, nCols, cols int) error {
+	m := len(basis)
+	for iter := 0; iter < 10000; iter++ {
+		// Entering column: most negative reduced cost.
+		col := -1
+		best := -eps
+		for j := 0; j < nCols; j++ {
+			if rc := t[m][j]; rc < best {
+				best = rc
+				col = j
+			}
+		}
+		if col < 0 {
+			return nil
+		}
+		// Leaving row: minimum ratio test (Bland-ish tie-break on basis
+		// index to avoid cycling).
+		row := -1
+		var bestRatio float64
+		for i := 0; i < m; i++ {
+			if t[i][col] > eps {
+				ratio := t[i][cols-1] / t[i][col]
+				if row < 0 || ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && basis[i] < basis[row]) {
+					row = i
+					bestRatio = ratio
+				}
+			}
+		}
+		if row < 0 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, row, col, cols)
+	}
+	return errors.New("simplex: iteration limit exceeded")
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(t [][]float64, basis []int, row, col, cols int) {
+	p := t[row][col]
+	for j := 0; j < cols; j++ {
+		t[row][j] /= p
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		if f := t[i][col]; math.Abs(f) > 0 {
+			for j := 0; j < cols; j++ {
+				t[i][j] -= f * t[row][j]
+			}
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,194 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleCover(t *testing.T) {
+	// min x1+x2 s.t. x1 >= 1, x2 >= 1.
+	val, x, err := Minimize(
+		[]float64{1, 1},
+		[][]float64{{1, 0}, {0, 1}},
+		[]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(val, 2) {
+		t.Fatalf("val = %v, want 2", val)
+	}
+	if !almost(x[0], 1) || !almost(x[1], 1) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestFractionalTriangleCover(t *testing.T) {
+	// Classic fractional edge cover of a triangle: three vertices A,B,C,
+	// three edges AB, BC, CA. Integral cover needs 2 edges; the optimal
+	// fractional cover assigns 1/2 to each edge, total 3/2.
+	val, _, err := Minimize(
+		[]float64{1, 1, 1},
+		[][]float64{
+			{1, 0, 1}, // A covered by AB, CA
+			{1, 1, 0}, // B covered by AB, BC
+			{0, 1, 1}, // C covered by BC, CA
+		},
+		[]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(val, 1.5) {
+		t.Fatalf("triangle cover = %v, want 1.5", val)
+	}
+}
+
+func TestSingleEdgeCoversPath(t *testing.T) {
+	// One relation covering both attributes: optimum 1.
+	val, _, err := Minimize(
+		[]float64{1},
+		[][]float64{{1}, {1}},
+		[]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(val, 1) {
+		t.Fatalf("val = %v, want 1", val)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 1 and -x >= 0 (i.e. x <= 0) with x >= 0 is infeasible.
+	_, _, err := Minimize(
+		[]float64{1},
+		[][]float64{{1}, {-1}},
+		[]float64{1, 0.5})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnboundedNoConstraints(t *testing.T) {
+	_, _, err := Minimize([]float64{-1}, nil, nil)
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestZeroObjectiveNoConstraints(t *testing.T) {
+	val, x, err := Minimize([]float64{1, 2}, nil, nil)
+	if err != nil || val != 0 || x[0] != 0 || x[1] != 0 {
+		t.Fatalf("val=%v x=%v err=%v", val, x, err)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate rows should not break phase 1 cleanup.
+	val, _, err := Minimize(
+		[]float64{1, 1},
+		[][]float64{{1, 1}, {1, 1}, {1, 0}},
+		[]float64{1, 1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(val, 1) {
+		t.Fatalf("val = %v, want 1", val)
+	}
+}
+
+// bruteCover computes the optimal fractional edge cover value by grid search
+// over a fine lattice, as an independent (slow) oracle for small programs.
+func bruteCover(a [][]float64, nVars int) float64 {
+	const steps = 8 // weights in {0, 1/8, ..., 1}
+	best := math.Inf(1)
+	weights := make([]float64, nVars)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nVars {
+			var sum float64
+			for _, w := range weights {
+				sum += w
+			}
+			if sum >= best {
+				return
+			}
+			for _, row := range a {
+				var c float64
+				for j, w := range weights {
+					c += row[j] * w
+				}
+				if c < 1-1e-9 {
+					return
+				}
+			}
+			best = sum
+			return
+		}
+		for s := 0; s <= steps; s++ {
+			weights[i] = float64(s) / steps
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: on random 0/1 covering programs the simplex optimum is never
+// worse than the lattice oracle and never better than the LP bound implied
+// by it (lattice points are feasible LP points).
+func TestAgainstBruteForceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 2 + rng.Intn(3)
+		nCons := 1 + rng.Intn(4)
+		a := make([][]float64, nCons)
+		feasible := true
+		for i := range a {
+			a[i] = make([]float64, nVars)
+			any := false
+			for j := range a[i] {
+				if rng.Intn(2) == 1 {
+					a[i][j] = 1
+					any = true
+				}
+			}
+			if !any {
+				feasible = false
+			}
+		}
+		c := make([]float64, nVars)
+		for j := range c {
+			c[j] = 1
+		}
+		b := make([]float64, nCons)
+		for i := range b {
+			b[i] = 1
+		}
+		val, x, err := Minimize(c, a, b)
+		if !feasible {
+			if err != ErrInfeasible {
+				t.Fatalf("trial %d: expected infeasible, got val=%v err=%v", trial, val, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Solution must satisfy all constraints.
+		for i, row := range a {
+			var got float64
+			for j := range row {
+				got += row[j] * x[j]
+			}
+			if got < b[i]-1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v < %v", trial, i, got, b[i])
+			}
+		}
+		oracle := bruteCover(a, nVars)
+		if val > oracle+1e-6 {
+			t.Fatalf("trial %d: simplex %v worse than lattice oracle %v", trial, val, oracle)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package stats implements the catalogue-based cost measure of Section 4.1:
+// given relation cardinalities and per-attribute distinct counts, it
+// estimates the size of a factorisation over an f-tree as Σ_A |Q_anc(A)(D)|
+// — the number of A-singletons is the number of distinct value combinations
+// along A's root-to-ancestor path — using textbook independence and
+// containment assumptions. The paper reports that this estimate-based cost
+// leads to very similar f-plan choices as the asymptotic s(T) measure; the
+// estimate is exposed as an alternative CostModel for the optimisers and
+// for ablation benchmarks.
+package stats
+
+import (
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// Catalogue holds per-relation cardinalities and per-attribute distinct
+// counts.
+type Catalogue struct {
+	Card     map[string]int
+	Distinct map[relation.Attribute]int
+}
+
+// Collect scans the relations and builds the catalogue.
+func Collect(rels []*relation.Relation) *Catalogue {
+	c := &Catalogue{
+		Card:     map[string]int{},
+		Distinct: map[relation.Attribute]int{},
+	}
+	for _, r := range rels {
+		c.Card[r.Name] = r.Cardinality()
+		for _, a := range r.Schema {
+			c.Distinct[a] = len(r.DistinctValues(a))
+		}
+	}
+	return c
+}
+
+// classDistinct estimates the number of distinct values of an equivalence
+// class: under the containment-of-value-sets assumption, the joined class
+// has the minimum of its attributes' distinct counts.
+func (c *Catalogue) classDistinct(t *ftree.T, n *ftree.Node) float64 {
+	best := 0.0
+	for _, a := range n.Attrs {
+		if t.Consts.Has(a) {
+			return 1
+		}
+		d, ok := c.Distinct[a]
+		if !ok {
+			continue
+		}
+		if best == 0 || float64(d) < best {
+			best = float64(d)
+		}
+	}
+	if best == 0 {
+		best = 1
+	}
+	return best
+}
+
+// EstimateSize estimates the singleton count of a factorisation over t:
+// for each node, the expected number of its unions' entries is the product
+// of the distinct counts of the classes on its root path (attribute
+// independence assumption), capped by the flat join size along that path;
+// each entry contributes one singleton per visible class attribute.
+func (c *Catalogue) EstimateSize(t *ftree.T) float64 {
+	total := 0.0
+	var walk func(n *ftree.Node, pathCombos float64)
+	walk = func(n *ftree.Node, pathCombos float64) {
+		combos := pathCombos * c.classDistinct(t, n)
+		vis := 0
+		for _, a := range n.Attrs {
+			if !t.Hidden.Has(a) {
+				vis++
+			}
+		}
+		total += combos * float64(vis)
+		for _, ch := range n.Children {
+			walk(ch, combos)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 1)
+	}
+	return total
+}
+
+// EstimatePlanCost sums the size estimates of the trees traversed by a
+// sequence of tree transforms — the estimate-based analogue of s(f).
+// Callers apply the transforms themselves and feed the intermediate trees.
+func (c *Catalogue) EstimatePlanCost(trees []*ftree.T) float64 {
+	total := 0.0
+	for _, t := range trees {
+		total += c.EstimateSize(t)
+	}
+	return total
+}

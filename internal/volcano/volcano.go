@@ -1,0 +1,386 @@
+// Package volcano is a generic Volcano-style (iterator-model) relational
+// engine with hash joins and a greedy left-deep join-order planner. It
+// stands in for the off-the-shelf engines of the paper's evaluation (SQLite
+// and PostgreSQL, which cannot be linked into an offline, stdlib-only
+// build): a fully general engine whose per-tuple iterator and
+// materialisation overhead tracks the hand-crafted RDB baseline shifted by
+// a constant factor — exactly the role those systems play in Figures 7
+// and 8. See DESIGN.md, "Substitutions".
+package volcano
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Iterator is the Volcano operator interface.
+type Iterator interface {
+	Open() error
+	// Next returns the next tuple, or ok=false at end of stream.
+	Next() (t relation.Tuple, ok bool, err error)
+	Close() error
+	Schema() relation.Schema
+}
+
+// --------------------------------------------------------------- scan
+
+type scan struct {
+	rel *relation.Relation
+	pos int
+}
+
+// NewScan returns a full-table scan.
+func NewScan(r *relation.Relation) Iterator { return &scan{rel: r} }
+
+func (s *scan) Open() error { s.pos = 0; return nil }
+func (s *scan) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.rel.Tuples) {
+		return nil, false, nil
+	}
+	t := s.rel.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+func (s *scan) Close() error            { return nil }
+func (s *scan) Schema() relation.Schema { return s.rel.Schema }
+
+// --------------------------------------------------------------- filter
+
+type filter struct {
+	in   Iterator
+	pred func(relation.Tuple) bool
+}
+
+// NewFilter returns a selection operator.
+func NewFilter(in Iterator, pred func(relation.Tuple) bool) Iterator {
+	return &filter{in: in, pred: pred}
+}
+
+func (f *filter) Open() error { return f.in.Open() }
+func (f *filter) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.pred(t) {
+			return t, true, nil
+		}
+	}
+}
+func (f *filter) Close() error            { return f.in.Close() }
+func (f *filter) Schema() relation.Schema { return f.in.Schema() }
+
+// --------------------------------------------------------------- hash join
+
+type hashJoin struct {
+	left, right         Iterator
+	leftCols, rightCols []int
+	schema              relation.Schema
+	table               map[string][]relation.Tuple
+	rightTuple          relation.Tuple
+	matches             []relation.Tuple
+	matchPos            int
+	builtOK             bool
+}
+
+// NewHashJoin joins left and right on the given key columns (left builds,
+// right probes).
+func NewHashJoin(left, right Iterator, leftCols, rightCols []int) Iterator {
+	sch := append(left.Schema().Clone(), right.Schema()...)
+	return &hashJoin{left: left, right: right, leftCols: leftCols, rightCols: rightCols, schema: sch}
+}
+
+func key(t relation.Tuple, cols []int) string {
+	b := make([]byte, 0, len(cols)*8)
+	for _, c := range cols {
+		v := uint64(t[c])
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+func (h *hashJoin) Open() error {
+	if err := h.left.Open(); err != nil {
+		return err
+	}
+	h.table = map[string][]relation.Tuple{}
+	for {
+		t, ok, err := h.left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := key(t, h.leftCols)
+		h.table[k] = append(h.table[k], t.Clone())
+	}
+	if err := h.left.Close(); err != nil {
+		return err
+	}
+	h.builtOK = true
+	h.matches, h.matchPos = nil, 0
+	return h.right.Open()
+}
+
+func (h *hashJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if h.matchPos < len(h.matches) {
+			l := h.matches[h.matchPos]
+			h.matchPos++
+			out := make(relation.Tuple, 0, len(l)+len(h.rightTuple))
+			out = append(out, l...)
+			out = append(out, h.rightTuple...)
+			return out, true, nil
+		}
+		t, ok, err := h.right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h.rightTuple = t
+		h.matches = h.table[key(t, h.rightCols)]
+		h.matchPos = 0
+	}
+}
+
+func (h *hashJoin) Close() error            { return h.right.Close() }
+func (h *hashJoin) Schema() relation.Schema { return h.schema }
+
+// --------------------------------------------------------------- cross join
+
+type crossJoin struct {
+	left, right Iterator
+	schema      relation.Schema
+	leftTuples  []relation.Tuple
+	leftPos     int
+	rightTuple  relation.Tuple
+	havePivot   bool
+}
+
+// NewCrossJoin returns a nested-loop Cartesian product (used when no join
+// key connects the inputs).
+func NewCrossJoin(left, right Iterator) Iterator {
+	return &crossJoin{left: left, right: right,
+		schema: append(left.Schema().Clone(), right.Schema()...)}
+}
+
+func (c *crossJoin) Open() error {
+	if err := c.left.Open(); err != nil {
+		return err
+	}
+	c.leftTuples = nil
+	for {
+		t, ok, err := c.left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		c.leftTuples = append(c.leftTuples, t.Clone())
+	}
+	if err := c.left.Close(); err != nil {
+		return err
+	}
+	c.leftPos = 0
+	c.havePivot = false
+	return c.right.Open()
+}
+
+func (c *crossJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if c.havePivot && c.leftPos < len(c.leftTuples) {
+			l := c.leftTuples[c.leftPos]
+			c.leftPos++
+			out := make(relation.Tuple, 0, len(l)+len(c.rightTuple))
+			out = append(out, l...)
+			out = append(out, c.rightTuple...)
+			return out, true, nil
+		}
+		t, ok, err := c.right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		c.rightTuple = t
+		c.leftPos = 0
+		c.havePivot = true
+	}
+}
+
+func (c *crossJoin) Close() error            { return c.right.Close() }
+func (c *crossJoin) Schema() relation.Schema { return c.schema }
+
+// --------------------------------------------------------------- planner
+
+// Result mirrors rdb.Result.
+type Result struct {
+	Tuples   int64
+	Elements int64
+	TimedOut bool
+	Duration time.Duration
+}
+
+// Options mirrors rdb.Options (count-only engine).
+type Options struct {
+	Timeout   time.Duration
+	MaxTuples int64
+}
+
+// Evaluate plans and runs the query: constant selections are pushed to the
+// scans, joins are ordered greedily (smallest relation first, then any
+// relation connected by an equality, smallest first), connected pairs use
+// hash joins, disconnected ones a cross join, and residual equalities
+// become a final filter.
+func Evaluate(q *core.Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Relations) == 0 {
+		return nil, fmt.Errorf("volcano: no relations")
+	}
+	start := time.Now()
+
+	// Scans with pushed-down constant selections.
+	its := make([]Iterator, len(q.Relations))
+	for i, r := range q.Relations {
+		var it Iterator = NewScan(r)
+		var mine []core.ConstSel
+		for _, s := range q.Selections {
+			if r.Schema.Contains(s.A) {
+				mine = append(mine, s)
+			}
+		}
+		if len(mine) > 0 {
+			sch := r.Schema
+			sels := mine
+			it = NewFilter(it, func(t relation.Tuple) bool {
+				for _, s := range sels {
+					if !s.Match(t[sch.Index(s.A)]) {
+						return false
+					}
+				}
+				return true
+			})
+		}
+		its[i] = it
+	}
+
+	// Greedy left-deep order: start with the smallest relation; prefer
+	// joinable (equality-connected) relations, smallest first.
+	remaining := map[int]bool{}
+	for i := range its {
+		remaining[i] = true
+	}
+	pickSmallest := func(connected bool, curSchema relation.Schema) int {
+		best := -1
+		for i := range remaining {
+			if connected != isConnected(q, curSchema, q.Relations[i].Schema) {
+				continue
+			}
+			if best < 0 || q.Relations[i].Cardinality() < q.Relations[best].Cardinality() {
+				best = i
+			}
+		}
+		return best
+	}
+	first := -1
+	for i := range remaining {
+		if first < 0 || q.Relations[i].Cardinality() < q.Relations[first].Cardinality() {
+			first = i
+		}
+	}
+	cur := its[first]
+	delete(remaining, first)
+	usedEq := make([]bool, len(q.Equalities))
+	for len(remaining) > 0 {
+		next := pickSmallest(true, cur.Schema())
+		if next < 0 {
+			next = pickSmallest(false, cur.Schema())
+		}
+		var lc, rc []int
+		for ei, e := range q.Equalities {
+			if usedEq[ei] {
+				continue
+			}
+			l, r := cur.Schema().Index(e.A), q.Relations[next].Schema.Index(e.B)
+			if l < 0 || r < 0 {
+				l, r = cur.Schema().Index(e.B), q.Relations[next].Schema.Index(e.A)
+			}
+			if l >= 0 && r >= 0 {
+				lc = append(lc, l)
+				rc = append(rc, r)
+				usedEq[ei] = true
+			}
+		}
+		if len(lc) > 0 {
+			cur = NewHashJoin(cur, its[next], lc, rc)
+		} else {
+			cur = NewCrossJoin(cur, its[next])
+		}
+		delete(remaining, next)
+	}
+	// Residual equalities (both sides in the same input, or closing a
+	// cycle) as a final filter.
+	var residual []core.Equality
+	for ei, e := range q.Equalities {
+		if !usedEq[ei] {
+			residual = append(residual, e)
+		}
+	}
+	if len(residual) > 0 {
+		sch := cur.Schema()
+		cur = NewFilter(cur, func(t relation.Tuple) bool {
+			for _, e := range residual {
+				if t[sch.Index(e.A)] != t[sch.Index(e.B)] {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	res := &Result{}
+	arity := int64(len(cur.Schema()))
+	if err := cur.Open(); err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.Tuples++
+		if opts.MaxTuples > 0 && res.Tuples >= opts.MaxTuples {
+			res.TimedOut = true
+			break
+		}
+		if res.Tuples%4096 == 0 && opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			res.TimedOut = true
+			break
+		}
+	}
+	res.Elements = res.Tuples * arity
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// isConnected reports whether an equality links attributes of the two
+// schemas.
+func isConnected(q *core.Query, a, b relation.Schema) bool {
+	for _, e := range q.Equalities {
+		if (a.Contains(e.A) && b.Contains(e.B)) || (a.Contains(e.B) && b.Contains(e.A)) {
+			return true
+		}
+	}
+	return false
+}

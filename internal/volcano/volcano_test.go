@@ -1,0 +1,145 @@
+package volcano
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fplan"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+func TestAgainstReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		r := 1 + rng.Intn(3)
+		a := r + rng.Intn(4)
+		k := rng.Intn(min(a-1, 3) + 1)
+		q, err := gen.RandomQuery(rng, r, a, 1+rng.Intn(8), k, gen.Uniform, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.EvaluateFlat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate(q, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Tuples != int64(want.Cardinality()) {
+			t.Fatalf("trial %d: volcano %d tuples, reference %d", trial, res.Tuples, want.Cardinality())
+		}
+	}
+}
+
+func TestConstSelectionPushdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	q, err := gen.RandomQuery(rng, 2, 4, 12, 1, gen.Zipf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Selections = []core.ConstSel{{A: q.Relations[1].Schema[0], Op: fplan.Gt, C: 2}}
+	want, err := q.EvaluateFlat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != int64(want.Cardinality()) {
+		t.Fatalf("volcano %d tuples, reference %d", res.Tuples, want.Cardinality())
+	}
+}
+
+func TestMaxTuplesAborts(t *testing.T) {
+	a := relation.New("A", relation.Schema{"X"})
+	b := relation.New("B", relation.Schema{"Y"})
+	for i := 0; i < 30; i++ {
+		a.Append(relation.Value(i))
+		b.Append(relation.Value(i))
+	}
+	q := &core.Query{Relations: []*relation.Relation{a, b}}
+	res, err := Evaluate(q, Options{MaxTuples: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Tuples != 7 {
+		t.Fatalf("expected abort at 7, got %d (timedOut=%v)", res.Tuples, res.TimedOut)
+	}
+}
+
+// TestIteratorsDirect exercises the operators without the planner.
+func TestIteratorsDirect(t *testing.T) {
+	r := relation.New("R", relation.Schema{"A", "B"})
+	r.Append(1, 2)
+	r.Append(3, 4)
+	s := relation.New("S", relation.Schema{"C"})
+	s.Append(2)
+	s.Append(4)
+	s.Append(9)
+	join := NewHashJoin(NewScan(r), NewScan(s), []int{1}, []int{0})
+	if err := join.Open(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		tp, ok, err := join.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if tp[1] != tp[2] {
+			t.Fatalf("join emitted non-matching tuple %v", tp)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("hash join emitted %d tuples, want 2", n)
+	}
+	if err := join.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFilter(NewScan(r), func(tp relation.Tuple) bool { return tp[0] == 1 })
+	if err := f.Open(); err != nil {
+		t.Fatal(err)
+	}
+	tp, ok, _ := f.Next()
+	if !ok || tp[0] != 1 {
+		t.Fatal("filter wrong")
+	}
+	if _, ok, _ := f.Next(); ok {
+		t.Fatal("filter emitted too many tuples")
+	}
+
+	cj := NewCrossJoin(NewScan(r), NewScan(s))
+	if err := cj.Open(); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	for {
+		_, ok, err := cj.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("cross join emitted %d tuples, want 6", n)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
