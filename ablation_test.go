@@ -1,4 +1,4 @@
-package fdb
+package fdb_test
 
 // Ablation benchmarks for the design choices called out in DESIGN.md:
 // the f-plan cost model (asymptotic s(T) vs catalogue estimates, §4.1),

@@ -1,4 +1,4 @@
-package fdb
+package fdb_test
 
 // One benchmark per table/figure of the paper's evaluation (Section 5).
 // Each wraps the corresponding experiment in internal/bench on a reduced
@@ -184,4 +184,23 @@ func BenchmarkGroceryPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExp5PreparedVsAdhoc measures the prepared-statement amortisation
+// win: stmt.Exec with a bound parameter vs an equivalent cold db.Query that
+// re-compiles (validation, input dedup, f-tree search, sorting) per call.
+func BenchmarkExp5PreparedVsAdhoc(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := bench.Exp5Config{Orders: 2000, Stock: 800, Disps: 300, Items: 50, Locations: 40, Execs: 50}
+	var row bench.Exp5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = bench.PreparedVsAdhoc(rng, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.AdhocNS/1e6, "adhoc-ms/exec")
+	b.ReportMetric(row.PreparedNS/1e6, "prepared-ms/exec")
+	b.ReportMetric(row.Speedup, "speedup")
 }

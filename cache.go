@@ -1,0 +1,125 @@
+package fdb
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultPlanCacheCap is the default number of compiled plans Query keeps.
+const defaultPlanCacheCap = 64
+
+// CacheStats is a snapshot of the plan cache counters.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// planCache is an LRU map from canonical query fingerprint to compiled
+// statement. An entry is only served while the data versions of every
+// involved relation still match; stale entries are evicted on lookup.
+type planCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	byKey        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	stmt *Stmt
+	vers map[string]uint64
+}
+
+func newPlanCache(cap int) *planCache {
+	return &planCache{cap: cap, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (c *planCache) capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+func (c *planCache) get(key string, vers map[string]uint64) (*Stmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if versEqual(e.vers, vers) {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return e.stmt, true
+		}
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *planCache) put(key string, stmt *Stmt, vers map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value = &cacheEntry{key: key, stmt: stmt, vers: vers}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, stmt: stmt, vers: vers})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate evicts every entry whose plan reads the named relation, so a
+// write releases the stale data snapshots immediately instead of leaving
+// them resident until the same fingerprint is queried again.
+func (c *planCache) invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.byKey {
+		if _, ok := el.Value.(*cacheEntry).vers[name]; ok {
+			c.ll.Remove(el)
+			delete(c.byKey, key)
+		}
+	}
+}
+
+func (c *planCache) resize(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0 // negative means "disabled", same as 0; keeps eviction finite
+	}
+	c.cap = n
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}
+
+func versEqual(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

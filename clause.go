@@ -1,0 +1,162 @@
+package fdb
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fplan"
+	"repro/internal/relation"
+)
+
+// Clause is one element of a query: relation list, equality, constant (or
+// parameterised) selection, or projection. Clauses are built with From, Eq,
+// Cmp and Project and compiled by Query, Prepare and Result.Where.
+type Clause interface{ apply(*spec) error }
+
+// specMode says which clause kinds a compilation site accepts.
+type specMode int
+
+const (
+	modeQuery specMode = iota // Query / Prepare: all clauses
+	modeWhere                 // Result.Where / Result.Join: no From
+)
+
+// spec is the compiled clause list, before binding to a database.
+type spec struct {
+	mode    specMode
+	from    []string
+	eqs     []core.Equality
+	sels    []selSpec
+	project []relation.Attribute
+}
+
+// selSpec is one selection attr θ value; val is a Go constant (int, int64,
+// string, relation.Value) or a ParamValue placeholder bound at Exec time.
+type selSpec struct {
+	attr relation.Attribute
+	op   fplan.Cmp
+	val  interface{}
+}
+
+// compileSpec runs every clause through its apply method — the single,
+// honest compilation path. Nil clauses are rejected rather than ignored.
+func compileSpec(mode specMode, clauses []Clause) (*spec, error) {
+	s := &spec{mode: mode}
+	for _, c := range clauses {
+		if c == nil {
+			return nil, fmt.Errorf("fdb: nil clause")
+		}
+		if err := c.apply(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// params returns the distinct placeholder names in first-appearance order.
+func (s *spec) params() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, sel := range s.sels {
+		if p, ok := sel.val.(ParamValue); ok && !seen[p.name] {
+			seen[p.name] = true
+			names = append(names, p.name)
+		}
+	}
+	return names
+}
+
+type fromClause []string
+
+func (f fromClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: From is not allowed in Where/Join (the input is the factorised result)")
+	}
+	s.from = append(s.from, f...)
+	return nil
+}
+
+// From names the relations to join.
+func From(names ...string) Clause { return fromClause(names) }
+
+type eqClause [2]string
+
+func (e eqClause) apply(s *spec) error {
+	if e[0] == "" || e[1] == "" {
+		return fmt.Errorf("fdb: Eq needs two attribute names")
+	}
+	s.eqs = append(s.eqs, core.Equality{A: relation.Attribute(e[0]), B: relation.Attribute(e[1])})
+	return nil
+}
+
+// Eq adds the join/selection condition a = b over qualified attribute names
+// ("Relation.attr").
+func Eq(a, b string) Clause { return eqClause{a, b} }
+
+// CmpOp re-exports the comparison operators for selections with constant.
+type CmpOp = fplan.Cmp
+
+// Comparison operators for Where-style constant selections.
+const (
+	EQ = fplan.Eq
+	NE = fplan.Ne
+	LT = fplan.Lt
+	LE = fplan.Le
+	GT = fplan.Gt
+	GE = fplan.Ge
+)
+
+// ParamValue is a placeholder for a constant bound at Exec time; create it
+// with Param and pass it as the value of Cmp.
+type ParamValue struct{ name string }
+
+// Param returns a named placeholder for use in Cmp:
+//
+//	stmt, _ := db.Prepare(..., fdb.Cmp("Orders.item", fdb.EQ, fdb.Param("item")))
+//	res, _ := stmt.Exec(fdb.Arg("item", "Milk"))
+//
+// One compiled plan then serves every constant bound to the parameter.
+func Param(name string) ParamValue { return ParamValue{name: name} }
+
+type constClause struct {
+	attr string
+	op   fplan.Cmp
+	val  interface{}
+}
+
+func (c constClause) apply(s *spec) error {
+	if c.attr == "" {
+		return fmt.Errorf("fdb: Cmp needs an attribute name")
+	}
+	if p, ok := c.val.(ParamValue); ok {
+		if p.name == "" {
+			return fmt.Errorf("fdb: Param needs a non-empty name")
+		}
+		if s.mode == modeWhere {
+			return fmt.Errorf("fdb: parameter %q is not allowed in Where/Join; use Prepare/Exec", p.name)
+		}
+	}
+	s.sels = append(s.sels, selSpec{attr: relation.Attribute(c.attr), op: c.op, val: c.val})
+	return nil
+}
+
+// Cmp adds the selection attr θ value; value may be int, int64, string, or
+// a Param placeholder bound at Exec time.
+func Cmp(attr string, op CmpOp, value interface{}) Clause {
+	return constClause{attr: attr, op: op, val: value}
+}
+
+type projClause []string
+
+func (p projClause) apply(s *spec) error {
+	for _, a := range p {
+		if a == "" {
+			return fmt.Errorf("fdb: Project needs non-empty attribute names")
+		}
+		s.project = append(s.project, relation.Attribute(a))
+	}
+	return nil
+}
+
+// Project keeps only the named attributes in the result.
+func Project(attrs ...string) Clause { return projClause(attrs) }

@@ -1,11 +1,23 @@
 // Command fdb runs select-project-join queries over tab-separated relation
 // files and prints the factorised result, its f-tree, and size statistics.
+// Queries are compiled once with the prepared-statement API and executed
+// with bound parameters.
 //
 //	fdb -load orders.tsv -load store.tsv -load disp.tsv \
 //	    -from Orders,Store,Disp \
 //	    -eq Orders.item=Store.item -eq Store.location=Disp.location \
-//	    [-where 'Orders.oid<=3'] [-project Orders.oid,Disp.dispatcher] \
-//	    [-rows 20]
+//	    [-where 'Orders.oid<=3'] [-where 'Orders.item=$item' -param item=Milk] \
+//	    [-project Orders.oid,Disp.dispatcher] [-rows 20]
+//
+// A -where value of the form $name compiles to a statement parameter bound
+// by a matching -param name=value flag.
+//
+// With -i, fdb starts an interactive REPL over the loaded relations:
+//
+//	fdb> prepare q1 from Orders,Store eq Orders.item=Store.item where Orders.oid<=$n
+//	fdb> exec q1 n=3
+//	fdb> query from Orders where Orders.item=Milk
+//	fdb> stats
 //
 // A relation file's first line is "Name<TAB>attr1<TAB>attr2…"; every other
 // line is one tuple; integer fields are stored as numbers, anything else is
@@ -14,6 +26,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -29,24 +42,30 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var loads, eqs, wheres multiFlag
+	var loads, eqs, wheres, params multiFlag
 	flag.Var(&loads, "load", "relation file to load (repeatable)")
 	from := flag.String("from", "", "comma-separated relations to join")
 	flag.Var(&eqs, "eq", "equality A=B over qualified attributes (repeatable)")
-	flag.Var(&wheres, "where", "constant selection attr(=|!=|<|<=|>|>=)value (repeatable)")
+	flag.Var(&wheres, "where", "selection attr(=|!=|<|<=|>|>=)value; value $name binds a parameter (repeatable)")
+	flag.Var(&params, "param", "parameter binding name=value for $name placeholders (repeatable)")
 	project := flag.String("project", "", "comma-separated attributes to keep")
 	rows := flag.Int("rows", 10, "result rows to print (0: all)")
+	interactive := flag.Bool("i", false, "start an interactive REPL after loading")
 	flag.Parse()
 
-	if len(loads) == 0 && *from == "" {
-		demo()
-		return
-	}
 	db := fdb.New()
 	for _, f := range loads {
 		if _, err := db.LoadTSV(f); err != nil {
 			fatal(err)
 		}
+	}
+	if *interactive {
+		repl(db, *rows)
+		return
+	}
+	if len(loads) == 0 && *from == "" {
+		demo()
+		return
 	}
 	if *from == "" {
 		fatal(fmt.Errorf("missing -from"))
@@ -70,13 +89,22 @@ func main() {
 	if *project != "" {
 		clauses = append(clauses, fdb.Project(strings.Split(*project, ",")...))
 	}
-	res, err := db.Query(clauses...)
+	stmt, err := db.Prepare(clauses...)
+	if err != nil {
+		fatal(err)
+	}
+	args, err := parseArgs(params)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := stmt.Exec(args...)
 	if err != nil {
 		fatal(err)
 	}
 	report(res, *rows)
 }
 
+// parseWhere parses attr<op>value; a value of $name becomes a Param.
 func parseWhere(w string) (fdb.Clause, error) {
 	for _, op := range []struct {
 		tok string
@@ -84,13 +112,44 @@ func parseWhere(w string) (fdb.Clause, error) {
 	}{{"!=", fdb.NE}, {"<=", fdb.LE}, {">=", fdb.GE}, {"<", fdb.LT}, {">", fdb.GT}, {"=", fdb.EQ}} {
 		if i := strings.Index(w, op.tok); i > 0 {
 			attr, val := w[:i], w[i+len(op.tok):]
-			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
-				return fdb.Cmp(attr, op.cmp, n), nil
-			}
-			return fdb.Cmp(attr, op.cmp, val), nil
+			return fdb.Cmp(attr, op.cmp, parseValue(val)), nil
 		}
 	}
 	return nil, fmt.Errorf("bad -where %q", w)
+}
+
+// parseValue turns a token into an int64, a Param placeholder ($name), or a
+// string constant.
+func parseValue(val string) interface{} {
+	if strings.HasPrefix(val, "$") && len(val) > 1 {
+		return fdb.Param(val[1:])
+	}
+	if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+		return n
+	}
+	return val
+}
+
+// parseConst parses a binding value: an int64 or a literal string (no
+// placeholder interpretation — a value may legitimately start with '$').
+func parseConst(val string) interface{} {
+	if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+		return n
+	}
+	return val
+}
+
+// parseArgs turns name=value tokens into Exec arguments.
+func parseArgs(tokens []string) ([]fdb.NamedArg, error) {
+	var args []fdb.NamedArg
+	for _, p := range tokens {
+		parts := strings.SplitN(p, "=", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return nil, fmt.Errorf("bad parameter binding %q (want name=value)", p)
+		}
+		args = append(args, fdb.Arg(parts[0], parseConst(parts[1])))
+	}
+	return args, nil
 }
 
 func report(res *fdb.Result, rows int) {
@@ -104,7 +163,179 @@ func report(res *fdb.Result, rows int) {
 	fmt.Print(res.Table(rows))
 }
 
-// demo runs Q1 of the paper on the grocery database of Figure 1.
+// ------------------------------------------------------------------- REPL
+
+const replHelp = `commands:
+  load <path>                      load a TSV relation file
+  rels                             list relations
+  prepare <name> <query>           compile a statement ($x in where = parameter)
+  exec <name> [k=v ...]            run a prepared statement
+  query <query>                    run an ad-hoc query (through the plan cache)
+  stats                            plan cache statistics
+  help | quit
+query syntax:
+  from R1,R2 [eq A=B ...] [where ATTR(=|!=|<|<=|>|>=)VAL ...] [project A,B]`
+
+// repl reads commands from stdin until EOF or quit.
+func repl(db *fdb.DB, rows int) {
+	stmts := map[string]*fdb.Stmt{}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("fdb interactive — 'help' for commands")
+	for {
+		fmt.Print("fdb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			if err := sc.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "error reading input:", err)
+			}
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, rest := fields[0], fields[1:]
+		var err error
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println(replHelp)
+		case "load":
+			err = replLoad(db, rest)
+		case "rels":
+			for _, name := range db.Relations() {
+				r, _ := db.Relation(name)
+				fmt.Printf("  %s%v: %d tuples\n", name, r.Schema, r.Cardinality())
+			}
+		case "prepare":
+			err = replPrepare(db, stmts, rest)
+		case "exec":
+			err = replExec(stmts, rest, rows)
+		case "query":
+			err = replQuery(db, rest, rows)
+		case "stats":
+			s := db.CacheStats()
+			fmt.Printf("  plan cache: %d entries, %d hits, %d misses\n", s.Entries, s.Hits, s.Misses)
+		default:
+			err = fmt.Errorf("unknown command %q ('help' lists commands)", cmd)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func replLoad(db *fdb.DB, rest []string) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: load <path>")
+	}
+	name, err := db.LoadTSV(rest[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  loaded %s\n", name)
+	return nil
+}
+
+func replPrepare(db *fdb.DB, stmts map[string]*fdb.Stmt, rest []string) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: prepare <name> <query>")
+	}
+	clauses, err := parseQuery(rest[1:])
+	if err != nil {
+		return err
+	}
+	stmt, err := db.Prepare(clauses...)
+	if err != nil {
+		return err
+	}
+	stmts[rest[0]] = stmt
+	fmt.Printf("  %s compiled: s(T)=%.1f, params %v\n", rest[0], stmt.Cost(), stmt.Params())
+	return nil
+}
+
+func replExec(stmts map[string]*fdb.Stmt, rest []string, rows int) error {
+	if len(rest) < 1 {
+		return fmt.Errorf("usage: exec <name> [k=v ...]")
+	}
+	stmt, ok := stmts[rest[0]]
+	if !ok {
+		return fmt.Errorf("no prepared statement %q", rest[0])
+	}
+	args, err := parseArgs(rest[1:])
+	if err != nil {
+		return err
+	}
+	res, err := stmt.Exec(args...)
+	if err != nil {
+		return err
+	}
+	report(res, rows)
+	return nil
+}
+
+func replQuery(db *fdb.DB, rest []string, rows int) error {
+	clauses, err := parseQuery(rest)
+	if err != nil {
+		return err
+	}
+	res, err := db.Query(clauses...)
+	if err != nil {
+		return err
+	}
+	report(res, rows)
+	return nil
+}
+
+// parseQuery parses the REPL query grammar: from R1,R2 eq A=B ... where
+// ATTR<op>VAL ... project A,B.
+func parseQuery(tokens []string) ([]fdb.Clause, error) {
+	var clauses []fdb.Clause
+	i := 0
+	for i < len(tokens) {
+		switch tokens[i] {
+		case "from":
+			if i+1 >= len(tokens) {
+				return nil, fmt.Errorf("from needs a relation list")
+			}
+			clauses = append(clauses, fdb.From(strings.Split(tokens[i+1], ",")...))
+			i += 2
+		case "eq":
+			if i+1 >= len(tokens) {
+				return nil, fmt.Errorf("eq needs A=B")
+			}
+			parts := strings.SplitN(tokens[i+1], "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad eq %q", tokens[i+1])
+			}
+			clauses = append(clauses, fdb.Eq(parts[0], parts[1]))
+			i += 2
+		case "where":
+			if i+1 >= len(tokens) {
+				return nil, fmt.Errorf("where needs a condition")
+			}
+			c, err := parseWhere(tokens[i+1])
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, c)
+			i += 2
+		case "project":
+			if i+1 >= len(tokens) {
+				return nil, fmt.Errorf("project needs an attribute list")
+			}
+			clauses = append(clauses, fdb.Project(strings.Split(tokens[i+1], ",")...))
+			i += 2
+		default:
+			return nil, fmt.Errorf("unexpected token %q", tokens[i])
+		}
+	}
+	return clauses, nil
+}
+
+// demo runs Q1 of the paper on the grocery database of Figure 1, then shows
+// the prepared-statement flow: one compiled plan serving several constants.
 func demo() {
 	db := fdb.New()
 	db.MustCreate("Orders", "oid", "item")
@@ -129,6 +360,23 @@ func demo() {
 		fatal(err)
 	}
 	report(res, 0)
+
+	fmt.Println("\nprepared: same join with Orders.item = $item, compiled once")
+	stmt, err := db.Prepare(
+		fdb.From("Orders", "Store", "Disp"),
+		fdb.Eq("Orders.item", "Store.item"),
+		fdb.Eq("Store.location", "Disp.location"),
+		fdb.Cmp("Orders.item", fdb.EQ, fdb.Param("item")))
+	if err != nil {
+		fatal(err)
+	}
+	for _, item := range []string{"Milk", "Cheese"} {
+		r, err := stmt.Exec(fdb.Arg("item", item))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  item=%s: %d tuples, %d singletons\n", item, r.Count(), r.Size())
+	}
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //	fdbench -exp 3            # Figure 7:   evaluation on flat data
 //	fdbench -exp 3 -comb      # Figure 7 (right column): combinatorial data
 //	fdbench -exp 4            # Figure 8:   evaluation on factorised data
+//	fdbench -exp 5            # prepared statements vs ad-hoc queries
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -38,6 +39,7 @@ func main() {
 		exp3(*seed, *timeout, *maxN, false)
 		exp3(*seed, *timeout, *maxN, true)
 		exp4(*seed, *runs, *timeout)
+		exp5(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -46,8 +48,10 @@ func main() {
 		exp3(*seed, *timeout, *maxN, *comb)
 	case 4:
 		exp4(*seed, *runs, *timeout)
+	case 5:
+		exp5(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..4")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..5")
 		os.Exit(2)
 	}
 }
@@ -123,6 +127,23 @@ func exp3(seed int64, timeout time.Duration, maxN int, comb bool) {
 					row.VolcanoMS, row.RDBTimedOut, row.VolcTimedOut)
 			}
 		}
+	}
+}
+
+func exp5(seed int64, runs int) {
+	fmt.Println("# Experiment 5: prepared statements (Prepare once, Exec per constant) vs cold ad-hoc Query")
+	fmt.Println("# execs adhoc_ms_per_exec prepared_ms_per_exec speedup cache_hits cache_misses")
+	rng := rand.New(rand.NewSource(seed))
+	cfg := bench.DefaultExp5Config()
+	for i := 0; i < runs; i++ {
+		row, err := bench.PreparedVsAdhoc(rng, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdbench:", err)
+			return
+		}
+		fmt.Printf("%d %.3f %.3f %.2f %d %d\n",
+			row.Execs, row.AdhocNS/1e6, row.PreparedNS/1e6, row.Speedup,
+			row.CacheHits, row.CacheMisses)
 	}
 }
 

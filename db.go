@@ -1,0 +1,271 @@
+package fdb
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/relation"
+)
+
+// DB is an in-memory factorised database: named relations plus a shared
+// string dictionary. A DB is safe for concurrent use: writers
+// (Create/Insert/LoadTSV) take the write lock, while Query, Prepare and
+// Stmt.Exec work on copy-on-prepare snapshots under the read lock.
+type DB struct {
+	mu    sync.RWMutex
+	dict  *relation.Dict
+	rels  map[string]*relation.Relation
+	ord   []string
+	vers  map[string]uint64 // per-relation data version, for cache validity
+	cache *planCache
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		dict:  relation.NewDict(),
+		rels:  map[string]*relation.Relation{},
+		vers:  map[string]uint64{},
+		cache: newPlanCache(defaultPlanCacheCap),
+	}
+}
+
+// Create adds a relation with the given attribute names (unqualified; they
+// are stored as "name.attr").
+func (db *DB) Create(name string, attrs ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.rels[name]; ok {
+		return fmt.Errorf("fdb: relation %q already exists", name)
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("fdb: relation %q needs at least one attribute", name)
+	}
+	sch := make(relation.Schema, len(attrs))
+	for i, a := range attrs {
+		sch[i] = relation.Attribute(name + "." + a)
+	}
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	db.rels[name] = relation.New(name, sch)
+	db.ord = append(db.ord, name)
+	db.vers[name]++
+	return nil
+}
+
+// MustCreate is Create, panicking on error (for examples and tests).
+func (db *DB) MustCreate(name string, attrs ...string) {
+	if err := db.Create(name, attrs...); err != nil {
+		panic(err)
+	}
+}
+
+// Insert appends one tuple; values may be int, int64 or string (strings are
+// dictionary-encoded). Prepared statements snapshot their inputs, so an
+// Insert is visible to statements prepared (and ad-hoc queries issued)
+// after it returns.
+func (db *DB) Insert(name string, values ...interface{}) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return fmt.Errorf("fdb: unknown relation %q", name)
+	}
+	if len(values) != len(r.Schema) {
+		return fmt.Errorf("fdb: relation %q has arity %d, got %d values", name, len(r.Schema), len(values))
+	}
+	t := make(relation.Tuple, len(values))
+	for i, v := range values {
+		val, err := db.encode(v)
+		if err != nil {
+			return err
+		}
+		t[i] = val
+	}
+	r.AppendTuple(t)
+	db.vers[name]++
+	db.cache.invalidate(name)
+	return nil
+}
+
+// MustInsert is Insert, panicking on error.
+func (db *DB) MustInsert(name string, values ...interface{}) {
+	if err := db.Insert(name, values...); err != nil {
+		panic(err)
+	}
+}
+
+// LoadTSV reads one relation from a tab-separated file (first line
+// "Name<TAB>attr…", see internal/csvio) into the database and returns its
+// name.
+func (db *DB) LoadTSV(path string) (string, error) {
+	rel, err := csvio.ReadFile(path, db.dict)
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.rels[rel.Name]; ok {
+		return "", fmt.Errorf("fdb: relation %q already exists", rel.Name)
+	}
+	db.rels[rel.Name] = rel
+	db.ord = append(db.ord, rel.Name)
+	db.vers[rel.Name]++
+	db.cache.invalidate(rel.Name)
+	return rel.Name, nil
+}
+
+// SaveTSV writes a stored relation to a tab-separated file. The read lock
+// is held for the duration of the write, so the file is a consistent
+// snapshot even under concurrent inserts.
+func (db *DB) SaveTSV(path, name string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return fmt.Errorf("fdb: unknown relation %q", name)
+	}
+	return csvio.WriteFile(path, r, db.dict)
+}
+
+// Relations lists the relation names in creation order.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.ord...)
+}
+
+// Relation exposes a snapshot of a stored relation. The snapshot has its
+// own tuple-slice header (safe to read while concurrent Inserts append)
+// but shares tuple storage with the database — treat it as read-only; do
+// not sort, dedup or otherwise mutate it in place.
+func (db *DB) Relation(name string) (*relation.Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, false
+	}
+	snap := relation.New(r.Name, r.Schema)
+	snap.Tuples = r.Tuples[:len(r.Tuples):len(r.Tuples)]
+	return snap, true
+}
+
+// Dict exposes the database dictionary (for rendering). The dictionary is
+// safe for concurrent use.
+func (db *DB) Dict() *relation.Dict { return db.dict }
+
+// Query compiles and runs a select-project-join query and returns its
+// factorised result: it finds an f-tree of minimal cost s(T) for the query,
+// builds the factorised representation directly from the input relations,
+// then applies constant selections and the projection.
+//
+// Query is a thin wrapper over the prepared-statement machinery: the
+// compiled plan is looked up in (and inserted into) an internal LRU cache
+// keyed by the query's canonical fingerprint, so repeating the same query
+// skips clause validation, input dedup, f-tree search and input sorting.
+// CacheStats exposes the hit counters. Queries with Param placeholders are
+// rejected — use Prepare and Exec to bind them.
+func (db *DB) Query(clauses ...Clause) (*Result, error) {
+	s, err := compileSpec(modeQuery, clauses)
+	if err != nil {
+		return nil, err
+	}
+	if ps := s.params(); len(ps) > 0 {
+		return nil, fmt.Errorf("fdb: unbound parameter %q: use Prepare and Exec for parameterised queries", ps[0])
+	}
+	if db.cache.capacity() <= 0 {
+		st, err := db.prepareSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		return st.Exec()
+	}
+	key, vers, err := db.fingerprint(s)
+	if err != nil {
+		return nil, err
+	}
+	if st, ok := db.cache.get(key, vers); ok {
+		return st.Exec()
+	}
+	// The miss path resolves the relations a second time inside
+	// prepareSpec; that duplication is two map lookups and constant
+	// encodings, noise next to the clone+dedup+f-tree search it performs.
+	st, err := db.prepareSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	// Only cache the plan if no write landed while it was compiling:
+	// a stale-versioned entry would survive the write's invalidate sweep
+	// yet never match on lookup, pinning dead snapshots until eviction.
+	if db.versMatch(vers) {
+		db.cache.put(key, st, vers)
+	}
+	return st.Exec()
+}
+
+// versMatch reports whether the given relation versions are still current.
+func (db *DB) versMatch(vers map[string]uint64) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for name, v := range vers {
+		if db.vers[name] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint canonically fingerprints the query spec against the current
+// catalogue and snapshots the data versions of the involved relations.
+// Versions are read before any data is copied, so a cached plan can never
+// claim to be newer than the snapshot it holds.
+func (db *DB) fingerprint(s *spec) (string, map[string]uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	q := &core.Query{Equalities: s.eqs, Projection: s.project}
+	vers := make(map[string]uint64, len(s.from))
+	for _, name := range s.from {
+		r, ok := db.rels[name]
+		if !ok {
+			return "", nil, fmt.Errorf("fdb: unknown relation %q", name)
+		}
+		q.Relations = append(q.Relations, r)
+		vers[name] = db.vers[name]
+	}
+	for _, sel := range s.sels {
+		v, err := db.encode(sel.val)
+		if err != nil {
+			return "", nil, err
+		}
+		q.Selections = append(q.Selections, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
+	}
+	return q.Fingerprint(), vers, nil
+}
+
+// CacheStats returns the plan cache counters: Hits and Misses count Query
+// lookups (a stale entry counts as a miss), Entries is the current size.
+func (db *DB) CacheStats() CacheStats { return db.cache.stats() }
+
+// SetPlanCacheCapacity resizes the plan cache (default 64 entries); 0
+// disables caching. Counters are preserved.
+func (db *DB) SetPlanCacheCapacity(n int) { db.cache.resize(n) }
+
+// encode turns a Go value into an engine Value. The dictionary is
+// internally synchronised, so encode is safe under either DB lock.
+func (db *DB) encode(v interface{}) (relation.Value, error) {
+	switch x := v.(type) {
+	case int:
+		return relation.Value(x), nil
+	case int64:
+		return relation.Value(x), nil
+	case relation.Value:
+		return x, nil
+	case string:
+		return db.dict.Encode(x), nil
+	}
+	return 0, fmt.Errorf("fdb: unsupported value type %T", v)
+}

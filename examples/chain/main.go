@@ -32,7 +32,13 @@ func main() {
 			clauses = append(clauses, fdb.Eq(
 				fmt.Sprintf("R%d.b", i), fmt.Sprintf("R%d.a", i+1)))
 		}
-		res, err := db.Query(clauses...)
+		// Compile once with Prepare; Exec builds the factorised result.
+		// (With parameters, the same plan would serve many constants.)
+		stmt, err := db.Prepare(clauses...)
+		if err != nil {
+			panic(err)
+		}
+		res, err := stmt.Exec()
 		if err != nil {
 			panic(err)
 		}

@@ -78,6 +78,24 @@ func main() {
 	must(err)
 	fmt.Printf("  remaining (cpu, mem) options: %d, factorised in %d singletons\n",
 		options.Count(), options.Size())
+
+	// A configurator serves this narrowing to every visitor: prepare the
+	// space restricted to a parameterised chassis once and execute it per
+	// session — the join is compiled exactly once.
+	perChassis, err := db.Prepare(
+		fdb.From("CC", "CM", "CD", "CP"),
+		fdb.Eq("CC.cpu", "CM.cpu"),
+		fdb.Eq("CC.chassis", "CD.chassis"),
+		fdb.Eq("CC.chassis", "CP.chassis"),
+		fdb.Cmp("CC.chassis", fdb.EQ, fdb.Param("chassis")))
+	must(err)
+	fmt.Println("\nprepared per-chassis narrowing (compiled once):")
+	for c := 0; c < 4; c++ {
+		sess, err := perChassis.Exec(fdb.Arg("chassis", c))
+		must(err)
+		fmt.Printf("  chassis=%d: %d configurations in %d singletons\n",
+			c, sess.Count(), sess.Size())
+	}
 }
 
 func must(err error) {

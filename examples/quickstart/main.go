@@ -69,6 +69,34 @@ func main() {
 		joined.Count(), joined.FlatSize(), joined.Size())
 	fmt.Println("  result rows:")
 	fmt.Print(joined.Table(6))
+
+	// Prepared statements: compile Q1 with a parameterised item selection
+	// once, then execute it per constant — the f-tree search, input dedup
+	// and sorting are all paid at Prepare time.
+	stmt, err := db.Prepare(
+		fdb.From("Orders", "Store", "Disp"),
+		fdb.Eq("Orders.item", "Store.item"),
+		fdb.Eq("Store.location", "Disp.location"),
+		fdb.Cmp("Orders.item", fdb.EQ, fdb.Param("item")))
+	must(err)
+	fmt.Printf("\nprepared Q1(item): s(T)=%.0f, params %v\n", stmt.Cost(), stmt.Params())
+	for _, item := range []string{"Milk", "Cheese", "Melon"} {
+		r, err := stmt.Exec(fdb.Arg("item", item))
+		must(err)
+		fmt.Printf("  item=%-6s -> %d tuples in %d singletons\n", item, r.Count(), r.Size())
+	}
+
+	// Ad-hoc queries reuse plans too: db.Query goes through an LRU plan
+	// cache keyed by the query's canonical fingerprint.
+	for i := 0; i < 3; i++ {
+		_, err := db.Query(
+			fdb.From("Produce", "Serve"),
+			fdb.Eq("Produce.supplier", "Serve.supplier"))
+		must(err)
+	}
+	stats := db.CacheStats()
+	fmt.Printf("\nplan cache after repeating Q2: %d hits, %d misses, %d entries\n",
+		stats.Hits, stats.Misses, stats.Entries)
 }
 
 func indent(s string) {

@@ -4,6 +4,40 @@
 //	Bakibayev, Olteanu, Závodný:
 //	"FDB: A Query Engine for Factorised Relational Databases", VLDB 2012.
 //
+// The engine spends its optimisation budget before execution: it searches
+// for an f-tree of minimal cost s(T), pre-filters and dedups the inputs,
+// and only then builds the factorised result. The API is therefore built
+// around compiled, reusable statements: Prepare pays the compile cost once,
+// Exec runs the compiled statement cheaply many times, and Param
+// placeholders let one plan serve millions of distinct constant values:
+//
+//	db := fdb.New()
+//	db.MustCreate("Orders", "oid", "item")
+//	db.MustInsert("Orders", "01", "Milk")
+//	...
+//	stmt, err := db.Prepare(
+//		fdb.From("Orders", "Store", "Disp"),
+//		fdb.Eq("Orders.item", "Store.item"),
+//		fdb.Eq("Store.location", "Disp.location"),
+//		fdb.Cmp("Orders.item", fdb.EQ, fdb.Param("item")))
+//	res, err := stmt.Exec(fdb.Arg("item", "Milk"))   // compiled once, run many
+//	res, err = stmt.Exec(fdb.Arg("item", "Cheese"))  // same plan, new constant
+//
+// Exec is safe for concurrent callers; ExecContext adds cancellation for
+// long factorisation builds. A Stmt snapshots its input relations at
+// Prepare time.
+//
+// Ad-hoc queries still work — and get plan reuse for free through an
+// internal LRU plan cache keyed by the query's canonical fingerprint
+// (see CacheStats):
+//
+//	res, err := db.Query(
+//		fdb.From("Orders", "Store", "Disp"),
+//		fdb.Eq("Orders.item", "Store.item"),
+//		fdb.Eq("Store.location", "Disp.location"))
+//	fmt.Println(res.Size(), res.Count()) // singletons vs tuples
+//	res2, err := res.Where(fdb.Eq("Orders.item", "Produce.item")) // on factorised data
+//
 // Relations are presented at the logical layer, but results (and, when
 // desired, inputs of follow-up queries) are stored as factorised
 // representations: algebraic expressions over singletons, union and product
@@ -12,484 +46,6 @@
 // flat ones, and select-project-join queries are evaluated directly on the
 // factorised form by f-plans of restructuring and selection operators.
 //
-// Basic use:
-//
-//	db := fdb.New()
-//	db.MustCreate("Orders", "oid", "item")
-//	db.MustInsert("Orders", "01", "Milk")
-//	...
-//	res, err := db.Query(
-//		fdb.From("Orders", "Store", "Disp"),
-//		fdb.Eq("Orders.item", "Store.item"),
-//		fdb.Eq("Store.location", "Disp.location"))
-//	fmt.Println(res.Size(), res.Count()) // singletons vs tuples
-//	res2, err := res.Where(fdb.Eq("Orders.item", "Produce.item")) // on factorised data
-//
 // Attribute names are written "Relation.attr" and kept globally unique
 // internally.
 package fdb
-
-import (
-	"fmt"
-	"sort"
-	"strings"
-
-	"repro/internal/core"
-	"repro/internal/csvio"
-	"repro/internal/fbuild"
-	"repro/internal/fplan"
-	"repro/internal/frep"
-	"repro/internal/opt"
-	"repro/internal/relation"
-)
-
-// DB is an in-memory factorised database: named relations plus a shared
-// string dictionary.
-type DB struct {
-	dict *relation.Dict
-	rels map[string]*relation.Relation
-	ord  []string
-}
-
-// New returns an empty database.
-func New() *DB {
-	return &DB{dict: relation.NewDict(), rels: map[string]*relation.Relation{}}
-}
-
-// Create adds a relation with the given attribute names (unqualified; they
-// are stored as "name.attr").
-func (db *DB) Create(name string, attrs ...string) error {
-	if _, ok := db.rels[name]; ok {
-		return fmt.Errorf("fdb: relation %q already exists", name)
-	}
-	if len(attrs) == 0 {
-		return fmt.Errorf("fdb: relation %q needs at least one attribute", name)
-	}
-	sch := make(relation.Schema, len(attrs))
-	for i, a := range attrs {
-		sch[i] = relation.Attribute(name + "." + a)
-	}
-	if err := sch.Validate(); err != nil {
-		return err
-	}
-	db.rels[name] = relation.New(name, sch)
-	db.ord = append(db.ord, name)
-	return nil
-}
-
-// MustCreate is Create, panicking on error (for examples and tests).
-func (db *DB) MustCreate(name string, attrs ...string) {
-	if err := db.Create(name, attrs...); err != nil {
-		panic(err)
-	}
-}
-
-// Insert appends one tuple; values may be int, int64 or string (strings are
-// dictionary-encoded).
-func (db *DB) Insert(name string, values ...interface{}) error {
-	r, ok := db.rels[name]
-	if !ok {
-		return fmt.Errorf("fdb: unknown relation %q", name)
-	}
-	if len(values) != len(r.Schema) {
-		return fmt.Errorf("fdb: relation %q has arity %d, got %d values", name, len(r.Schema), len(values))
-	}
-	t := make(relation.Tuple, len(values))
-	for i, v := range values {
-		switch x := v.(type) {
-		case int:
-			t[i] = relation.Value(x)
-		case int64:
-			t[i] = relation.Value(x)
-		case relation.Value:
-			t[i] = x
-		case string:
-			t[i] = db.dict.Encode(x)
-		default:
-			return fmt.Errorf("fdb: unsupported value type %T", v)
-		}
-	}
-	r.AppendTuple(t)
-	return nil
-}
-
-// MustInsert is Insert, panicking on error.
-func (db *DB) MustInsert(name string, values ...interface{}) {
-	if err := db.Insert(name, values...); err != nil {
-		panic(err)
-	}
-}
-
-// LoadTSV reads one relation from a tab-separated file (first line
-// "Name<TAB>attr…", see internal/csvio) into the database and returns its
-// name.
-func (db *DB) LoadTSV(path string) (string, error) {
-	rel, err := csvio.ReadFile(path, db.dict)
-	if err != nil {
-		return "", err
-	}
-	if _, ok := db.rels[rel.Name]; ok {
-		return "", fmt.Errorf("fdb: relation %q already exists", rel.Name)
-	}
-	db.rels[rel.Name] = rel
-	db.ord = append(db.ord, rel.Name)
-	return rel.Name, nil
-}
-
-// SaveTSV writes a stored relation to a tab-separated file.
-func (db *DB) SaveTSV(path, name string) error {
-	r, ok := db.rels[name]
-	if !ok {
-		return fmt.Errorf("fdb: unknown relation %q", name)
-	}
-	return csvio.WriteFile(path, r, db.dict)
-}
-
-// Relations lists the relation names in creation order.
-func (db *DB) Relations() []string { return append([]string(nil), db.ord...) }
-
-// Relation exposes a stored relation (read-only use expected).
-func (db *DB) Relation(name string) (*relation.Relation, bool) {
-	r, ok := db.rels[name]
-	return r, ok
-}
-
-// Dict exposes the database dictionary (for rendering).
-func (db *DB) Dict() *relation.Dict { return db.dict }
-
-// ---------------------------------------------------------------- query API
-
-// Clause is one element of a query: relation list, equality, constant
-// selection or projection.
-type Clause interface{ apply(*spec) error }
-
-type spec struct {
-	from    []string
-	eqs     []core.Equality
-	sels    []core.ConstSel
-	project []relation.Attribute
-}
-
-type fromClause []string
-
-func (f fromClause) apply(s *spec) error { s.from = append(s.from, f...); return nil }
-
-// From names the relations to join.
-func From(names ...string) Clause { return fromClause(names) }
-
-type eqClause [2]string
-
-func (e eqClause) apply(s *spec) error {
-	s.eqs = append(s.eqs, core.Equality{A: relation.Attribute(e[0]), B: relation.Attribute(e[1])})
-	return nil
-}
-
-// Eq adds the join/selection condition a = b over qualified attribute names
-// ("Relation.attr").
-func Eq(a, b string) Clause { return eqClause{a, b} }
-
-// CmpOp re-exports the comparison operators for selections with constant.
-type CmpOp = fplan.Cmp
-
-// Comparison operators for Where-style constant selections.
-const (
-	EQ = fplan.Eq
-	NE = fplan.Ne
-	LT = fplan.Lt
-	LE = fplan.Le
-	GT = fplan.Gt
-	GE = fplan.Ge
-)
-
-type constClause struct {
-	attr string
-	op   fplan.Cmp
-	val  interface{}
-}
-
-func (constClause) apply(*spec) error { return nil } // handled in Query
-
-// Cmp adds the constant selection attr θ value; value may be int, int64 or
-// string.
-func Cmp(attr string, op CmpOp, value interface{}) Clause {
-	return constClause{attr: attr, op: op, val: value}
-}
-
-type projClause []string
-
-func (p projClause) apply(s *spec) error {
-	for _, a := range p {
-		s.project = append(s.project, relation.Attribute(a))
-	}
-	return nil
-}
-
-// Project keeps only the named attributes in the result.
-func Project(attrs ...string) Clause { return projClause(attrs) }
-
-// Query evaluates a select-project-join query and returns its factorised
-// result: it finds an f-tree of minimal cost s(T) for the query, builds the
-// factorised representation directly from the input relations, then applies
-// constant selections and the projection as f-plan operators.
-func (db *DB) Query(clauses ...Clause) (*Result, error) {
-	var s spec
-	for _, c := range clauses {
-		switch cc := c.(type) {
-		case constClause:
-			v, err := db.encode(cc.val)
-			if err != nil {
-				return nil, err
-			}
-			s.sels = append(s.sels, core.ConstSel{A: relation.Attribute(cc.attr), Op: cc.op, C: v})
-		default:
-			if err := c.apply(&s); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if len(s.from) == 0 {
-		return nil, fmt.Errorf("fdb: query needs From(...)")
-	}
-	q := &core.Query{Equalities: s.eqs, Selections: s.sels}
-	for _, name := range s.from {
-		r, ok := db.rels[name]
-		if !ok {
-			return nil, fmt.Errorf("fdb: unknown relation %q", name)
-		}
-		rc := r.Clone()
-		rc.Dedup()
-		q.Relations = append(q.Relations, rc)
-	}
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	// Constant selections are cheapest first (Section 4): filter inputs.
-	for i, r := range q.Relations {
-		var mine []core.ConstSel
-		for _, c := range q.Selections {
-			if r.Schema.Contains(c.A) {
-				mine = append(mine, c)
-			}
-		}
-		if len(mine) > 0 {
-			sch := r.Schema
-			q.Relations[i] = r.Select(func(t relation.Tuple) bool {
-				for _, c := range mine {
-					if !c.Match(t[sch.Index(c.A)]) {
-						return false
-					}
-				}
-				return true
-			})
-		}
-	}
-	tr, _, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
-	if err != nil {
-		return nil, err
-	}
-	fr, err := fbuild.Build(q.Relations, tr)
-	if err != nil {
-		return nil, err
-	}
-	if s.project != nil {
-		if err := (fplan.Project{Attrs: s.project}).Apply(fr); err != nil {
-			return nil, err
-		}
-	}
-	return &Result{db: db, rep: fr}, nil
-}
-
-func (db *DB) encode(v interface{}) (relation.Value, error) {
-	switch x := v.(type) {
-	case int:
-		return relation.Value(x), nil
-	case int64:
-		return relation.Value(x), nil
-	case relation.Value:
-		return x, nil
-	case string:
-		return db.dict.Encode(x), nil
-	}
-	return 0, fmt.Errorf("fdb: unsupported value type %T", v)
-}
-
-// ---------------------------------------------------------------- results
-
-// Result is a factorised query result. Follow-up queries (Where, Select,
-// ProjectTo, Join) run directly on the factorised representation, using the
-// optimisers to pick cheap f-plans.
-type Result struct {
-	db  *DB
-	rep *frep.FRep
-}
-
-// Size returns the number of singletons (the paper's |E|).
-func (r *Result) Size() int { return r.rep.Size() }
-
-// Count returns the number of represented tuples.
-func (r *Result) Count() int64 { return r.rep.Count() }
-
-// Empty reports whether the result is the empty relation.
-func (r *Result) Empty() bool { return r.rep.IsEmpty() }
-
-// FlatSize returns Count() times the number of visible attributes: the
-// number of data elements a flat representation would hold.
-func (r *Result) FlatSize() int64 {
-	return r.rep.Count() * int64(len(r.rep.Schema()))
-}
-
-// Schema lists the result attributes in enumeration order.
-func (r *Result) Schema() []string {
-	sch := r.rep.Schema()
-	out := make([]string, len(sch))
-	for i, a := range sch {
-		out[i] = string(a)
-	}
-	return out
-}
-
-// FTree renders the result's factorisation tree.
-func (r *Result) FTree() string { return r.rep.Tree.String() }
-
-// String renders the factorised representation in the paper's notation,
-// decoding dictionary values.
-func (r *Result) String() string { return r.rep.StringDict(r.db.dict) }
-
-// Each enumerates the tuples (constant delay) as string-decoded rows until
-// fn returns false.
-func (r *Result) Each(fn func(row []string) bool) {
-	sch := r.rep.Schema()
-	r.rep.Enumerate(func(t relation.Tuple) bool {
-		row := make([]string, len(sch))
-		for i, v := range t {
-			row[i] = r.db.dict.Decode(v)
-		}
-		return fn(row)
-	})
-}
-
-// Rows materialises up to limit rows (limit <= 0: all).
-func (r *Result) Rows(limit int) [][]string {
-	var out [][]string
-	r.Each(func(row []string) bool {
-		out = append(out, append([]string(nil), row...))
-		return limit <= 0 || len(out) < limit
-	})
-	return out
-}
-
-// Rep exposes the underlying representation (advanced use: direct access to
-// the internal packages).
-func (r *Result) Rep() *frep.FRep { return r.rep }
-
-// Iter returns a resumable constant-delay iterator over the result's
-// tuples (raw values; use Each/Rows for dictionary-decoded output). The
-// iterator is invalidated if the result is consumed by further operators.
-func (r *Result) Iter() *frep.Iterator { return frep.NewIterator(r.rep) }
-
-// Where applies equality conditions to the factorised result: the engine
-// searches for an optimal f-plan (restructuring + merge/absorb operators)
-// and executes it. The receiver is unchanged; a new Result is returned.
-func (r *Result) Where(clauses ...Clause) (*Result, error) {
-	var s spec
-	for _, c := range clauses {
-		switch cc := c.(type) {
-		case constClause:
-			v, err := r.db.encode(cc.val)
-			if err != nil {
-				return nil, err
-			}
-			s.sels = append(s.sels, core.ConstSel{A: relation.Attribute(cc.attr), Op: cc.op, C: v})
-		case eqClause, projClause:
-			if err := c.apply(&s); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("fdb: Where accepts Eq, Cmp and Project clauses only")
-		}
-	}
-	rep := r.rep.Clone()
-	// Constant selections first (cheapest, Section 4).
-	for _, c := range s.sels {
-		if err := (fplan.SelectConst{A: c.A, Op: c.Op, C: c.C}).Apply(rep); err != nil {
-			return nil, err
-		}
-	}
-	var conds []opt.Condition
-	for _, e := range s.eqs {
-		if rep.Tree.NodeOf(e.A) == nil || rep.Tree.NodeOf(e.B) == nil {
-			return nil, fmt.Errorf("fdb: condition %s=%s references attribute not in result", e.A, e.B)
-		}
-		if rep.Tree.NodeOf(e.A) != rep.Tree.NodeOf(e.B) {
-			conds = append(conds, opt.Condition{A: e.A, B: e.B})
-		}
-	}
-	if len(conds) > 0 {
-		res, err := opt.ExhaustivePlan(rep.Tree, conds, opt.PlanSearchOptions{})
-		if err != nil {
-			// Fall back to the greedy heuristic on large instances.
-			g, gerr := opt.GreedyPlan(rep.Tree, conds)
-			if gerr != nil {
-				return nil, err
-			}
-			res = g
-		}
-		if err := res.Plan.Execute(rep); err != nil {
-			return nil, err
-		}
-	}
-	if s.project != nil {
-		if err := (fplan.Project{Attrs: s.project}).Apply(rep); err != nil {
-			return nil, err
-		}
-	}
-	return &Result{db: r.db, rep: rep}, nil
-}
-
-// Join combines two factorised results over disjoint attributes and applies
-// the given equality conditions — the Q1 ⋈ Q2 scenario of Example 2.
-func (r *Result) Join(other *Result, clauses ...Clause) (*Result, error) {
-	prod, err := fplan.Product(r.rep, other.rep)
-	if err != nil {
-		return nil, err
-	}
-	joined := &Result{db: r.db, rep: prod}
-	if len(clauses) == 0 {
-		return joined, nil
-	}
-	return joined.Where(clauses...)
-}
-
-// ProjectTo projects the factorised result onto the given attributes.
-func (r *Result) ProjectTo(attrs ...string) (*Result, error) {
-	rep := r.rep.Clone()
-	var as []relation.Attribute
-	for _, a := range attrs {
-		as = append(as, relation.Attribute(a))
-	}
-	if err := (fplan.Project{Attrs: as}).Apply(rep); err != nil {
-		return nil, err
-	}
-	return &Result{db: r.db, rep: rep}, nil
-}
-
-// Table renders the enumerated result (up to limit rows) as an aligned
-// table for display.
-func (r *Result) Table(limit int) string {
-	var b strings.Builder
-	b.WriteString(strings.Join(r.Schema(), "\t"))
-	b.WriteByte('\n')
-	for _, row := range r.Rows(limit) {
-		b.WriteString(strings.Join(row, "\t"))
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// SortedSchema returns the schema sorted alphabetically (stable rendering
-// helper for tests).
-func (r *Result) SortedSchema() []string {
-	s := r.Schema()
-	sort.Strings(s)
-	return s
-}

@@ -89,3 +89,19 @@ func TestExperiment4Point(t *testing.T) {
 		t.Fatal("non-empty result with zero size")
 	}
 }
+
+func TestPreparedVsAdhoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := Exp5Config{Orders: 400, Stock: 200, Disps: 100, Items: 20, Locations: 15, Execs: 20}
+	row, err := PreparedVsAdhoc(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.PreparedNS <= 0 || row.AdhocNS <= 0 {
+		t.Fatalf("degenerate timings: %+v", row)
+	}
+	// The repeated identical query must be served from the plan cache.
+	if row.CacheHits < uint64(cfg.Execs-1) {
+		t.Fatalf("plan cache hits = %d, want >= %d", row.CacheHits, cfg.Execs-1)
+	}
+}

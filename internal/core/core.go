@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/fplan"
 	"repro/internal/relation"
@@ -67,6 +69,66 @@ func (q *Query) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a canonical, injective encoding of the query's
+// structure: relation names with their schemas, equalities, constant
+// selections and the projection. Tuple data is NOT part of the fingerprint
+// — two queries over the same catalogue fingerprint equally regardless of
+// current contents, which is what makes it usable as a plan-cache key
+// (cache owners must track data versions separately).
+//
+// The encoding is canonical: relations are sorted by name, each equality is
+// ordered A ≤ B and the equality and selection lists are sorted, so
+// syntactic permutations of one query share a fingerprint. The projection
+// keeps its order (it is part of the requested output).
+func (q *Query) Fingerprint() string {
+	var b strings.Builder
+	rels := make([]string, len(q.Relations))
+	for i, r := range q.Relations {
+		var rb strings.Builder
+		fmt.Fprintf(&rb, "%q(", r.Name)
+		for j, a := range r.Schema {
+			if j > 0 {
+				rb.WriteByte(',')
+			}
+			fmt.Fprintf(&rb, "%q", string(a))
+		}
+		rb.WriteByte(')')
+		rels[i] = rb.String()
+	}
+	sort.Strings(rels)
+	b.WriteString("R:")
+	b.WriteString(strings.Join(rels, ";"))
+	eqs := make([]string, len(q.Equalities))
+	for i, e := range q.Equalities {
+		a, bb := e.A, e.B
+		if bb < a {
+			a, bb = bb, a
+		}
+		eqs[i] = fmt.Sprintf("%q=%q", string(a), string(bb))
+	}
+	sort.Strings(eqs)
+	b.WriteString("|E:")
+	b.WriteString(strings.Join(eqs, ";"))
+	sels := make([]string, len(q.Selections))
+	for i, s := range q.Selections {
+		sels[i] = fmt.Sprintf("%q%s%d", string(s.A), s.Op, int64(s.C))
+	}
+	sort.Strings(sels)
+	b.WriteString("|S:")
+	b.WriteString(strings.Join(sels, ";"))
+	b.WriteString("|P:")
+	if q.Projection != nil {
+		parts := make([]string, len(q.Projection))
+		for i, a := range q.Projection {
+			parts[i] = fmt.Sprintf("%q", string(a))
+		}
+		b.WriteString(strings.Join(parts, ";"))
+	} else {
+		b.WriteString("*")
+	}
+	return b.String()
 }
 
 // Attributes returns all attributes of the query's relations, in relation

@@ -13,6 +13,7 @@
 package fbuild
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -42,15 +43,35 @@ type builder struct {
 	tree *ftree.T
 	// pre-order intervals for subtree tests.
 	in, out map[*ftree.Node]int
+	// cancellation: ctx is polled every checkTick leapfrog rounds; a
+	// non-nil err aborts the recursion.
+	ctx  context.Context
+	tick uint
+	err  error
 }
 
-// Build evaluates the natural join encoded by t over the given relations
-// and returns its factorised representation over t. Every attribute of
-// every relation must label a node of t, and each relation's nodes must lie
-// on one root-to-leaf path (the path constraint). Relations are sorted in
-// place by their path order.
-func Build(rels []*relation.Relation, t *ftree.T) (*frep.FRep, error) {
-	b := &builder{tree: t, in: map[*ftree.Node]int{}, out: map[*ftree.Node]int{}}
+// checkTick is how many leapfrog rounds pass between context polls.
+const checkTick = 1024
+
+// checkpoint polls the build's context once every checkTick calls and
+// reports whether the build has been cancelled.
+func (b *builder) checkpoint() bool {
+	if b.err != nil {
+		return true
+	}
+	b.tick++
+	if b.tick%checkTick == 0 {
+		if err := b.ctx.Err(); err != nil {
+			b.err = err
+			return true
+		}
+	}
+	return false
+}
+
+// newBuilder numbers the tree in pre-order for subtree tests.
+func newBuilder(ctx context.Context, t *ftree.T) *builder {
+	b := &builder{tree: t, in: map[*ftree.Node]int{}, out: map[*ftree.Node]int{}, ctx: ctx}
 	ctr := 0
 	var number func(n *ftree.Node)
 	number = func(n *ftree.Node) {
@@ -64,6 +85,42 @@ func Build(rels []*relation.Relation, t *ftree.T) (*frep.FRep, error) {
 	for _, r := range t.Roots {
 		number(r)
 	}
+	return b
+}
+
+// SortFor sorts each relation by its root-to-leaf path order in t — exactly
+// the order Build imposes — and verifies the path constraint. Callers that
+// reuse relations across many Build invocations (prepared statements) pay
+// the sort once here; Build's own SortBy then detects the sorted input and
+// becomes a read-only no-op, so the relations can be shared by concurrent
+// builds.
+func SortFor(rels []*relation.Relation, t *ftree.T) error {
+	b := newBuilder(context.Background(), t)
+	for _, r := range rels {
+		if _, err := b.newState(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build evaluates the natural join encoded by t over the given relations
+// and returns its factorised representation over t. Every attribute of
+// every relation must label a node of t, and each relation's nodes must lie
+// on one root-to-leaf path (the path constraint). Relations are sorted in
+// place by their path order (a no-op if already sorted, e.g. via SortFor).
+func Build(rels []*relation.Relation, t *ftree.T) (*frep.FRep, error) {
+	return BuildContext(context.Background(), rels, t)
+}
+
+// BuildContext is Build with cancellation: the construction polls ctx at
+// regular checkpoints and aborts with ctx's error, so long factorisation
+// builds can be abandoned by impatient callers.
+func BuildContext(ctx context.Context, rels []*relation.Relation, t *ftree.T) (*frep.FRep, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(ctx, t)
 
 	states := make([]*relState, 0, len(rels))
 	for _, r := range rels {
@@ -84,6 +141,9 @@ func Build(rels []*relation.Relation, t *ftree.T) (*frep.FRep, error) {
 			}
 		}
 		u := b.buildUnion(root, mine)
+		if b.err != nil {
+			return nil, b.err
+		}
 		if len(u.Entries) == 0 {
 			empty = true
 		}
@@ -169,6 +229,9 @@ func (b *builder) buildUnion(node *ftree.Node, states []*relState) *frep.Union {
 		cur[i] = st.lo
 	}
 	for {
+		if b.checkpoint() {
+			return u
+		}
 		// Propose the maximum of the current values; any relation exhausted
 		// ends the union.
 		var v relation.Value

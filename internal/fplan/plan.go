@@ -1,6 +1,7 @@
 package fplan
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/frep"
@@ -24,7 +25,17 @@ func (p Plan) String() string {
 
 // Execute applies every operator, in order, to f (tree and data together).
 func (p Plan) Execute(f *frep.FRep) error {
+	return p.ExecuteContext(context.Background(), f)
+}
+
+// ExecuteContext is Execute with cancellation checkpoints between
+// operators: before each operator runs, ctx is polled and its error
+// returned, so long operator pipelines can be abandoned mid-plan.
+func (p Plan) ExecuteContext(ctx context.Context, f *frep.FRep) error {
 	for _, op := range p.Ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := op.Apply(f); err != nil {
 			return err
 		}

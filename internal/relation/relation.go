@@ -110,6 +110,26 @@ func (r *Relation) SortBy(order []Attribute) {
 			idx = append(idx, i)
 		}
 	}
+	// Already sorted? One read-only pass; SortBy then never writes, so
+	// relations pre-sorted in this order can be shared by concurrent
+	// readers (prepared-statement snapshots).
+	sorted := true
+scan:
+	for k := 1; k < len(r.Tuples); k++ {
+		ta, tb := r.Tuples[k-1], r.Tuples[k]
+		for _, i := range idx {
+			if ta[i] < tb[i] {
+				continue scan
+			}
+			if ta[i] > tb[i] {
+				sorted = false
+				break scan
+			}
+		}
+	}
+	if sorted {
+		return
+	}
 	sort.Slice(r.Tuples, func(a, b int) bool {
 		ta, tb := r.Tuples[a], r.Tuples[b]
 		for _, i := range idx {
@@ -166,6 +186,20 @@ func (r *Relation) Select(pred func(Tuple) bool) *Relation {
 	for _, t := range r.Tuples {
 		if pred(t) {
 			out.Tuples = append(out.Tuples, t.Clone())
+		}
+	}
+	return out
+}
+
+// Filter is Select without copying tuple storage: the result shares the
+// surviving Tuple values with r and preserves their order (so a sorted
+// input stays sorted). Use it when the filtered relation is read-only, e.g.
+// per-execution parameter filtering of a shared snapshot.
+func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
+	out := New(r.Name, r.Schema)
+	for _, t := range r.Tuples {
+		if pred(t) {
+			out.Tuples = append(out.Tuples, t)
 		}
 	}
 	return out

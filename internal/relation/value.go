@@ -11,6 +11,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Value is a single data value. All engine-internal values are int64; string
@@ -140,8 +141,11 @@ func (s AttrSet) Sorted() []Attribute {
 
 // Dict dictionary-encodes strings as Values. It is the bridge between
 // human-readable data (e.g. the grocery example of the paper's Figure 1) and
-// the integer-only engine core. The zero Dict is ready to use after NewDict.
+// the integer-only engine core. A Dict is safe for concurrent use: encoding
+// a constant mid-query (e.g. binding a string parameter) may race with
+// inserts and with result decoding.
 type Dict struct {
+	mu   sync.RWMutex
 	toID map[string]Value
 	toS  []string
 }
@@ -153,10 +157,18 @@ func NewDict() *Dict {
 
 // Encode returns the Value for s, assigning a fresh id on first use.
 func (d *Dict) Encode(s string) Value {
+	d.mu.RLock()
+	v, ok := d.toID[s]
+	d.mu.RUnlock()
+	if ok {
+		return v
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if v, ok := d.toID[s]; ok {
 		return v
 	}
-	v := Value(len(d.toS))
+	v = Value(len(d.toS))
 	d.toID[s] = v
 	d.toS = append(d.toS, s)
 	return v
@@ -165,6 +177,8 @@ func (d *Dict) Encode(s string) Value {
 // Decode returns the string for v, or a numeric rendering if v was never
 // assigned by this dictionary.
 func (d *Dict) Decode(v Value) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if v >= 0 && int(v) < len(d.toS) {
 		return d.toS[v]
 	}
@@ -172,4 +186,8 @@ func (d *Dict) Decode(v Value) string {
 }
 
 // Len returns the number of distinct encoded strings.
-func (d *Dict) Len() int { return len(d.toS) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.toS)
+}

@@ -1,0 +1,191 @@
+package fdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fplan"
+	"repro/internal/frep"
+	"repro/internal/opt"
+	"repro/internal/relation"
+)
+
+// Result is a factorised query result. Follow-up queries (Where, Select,
+// ProjectTo, Join) run directly on the factorised representation, using the
+// optimisers to pick cheap f-plans.
+type Result struct {
+	db  *DB
+	rep *frep.FRep
+}
+
+// Size returns the number of singletons (the paper's |E|).
+func (r *Result) Size() int { return r.rep.Size() }
+
+// Count returns the number of represented tuples.
+func (r *Result) Count() int64 { return r.rep.Count() }
+
+// Empty reports whether the result is the empty relation.
+func (r *Result) Empty() bool { return r.rep.IsEmpty() }
+
+// FlatSize returns Count() times the number of visible attributes: the
+// number of data elements a flat representation would hold.
+func (r *Result) FlatSize() int64 {
+	return r.rep.Count() * int64(len(r.rep.Schema()))
+}
+
+// Schema lists the result attributes in enumeration order.
+func (r *Result) Schema() []string {
+	sch := r.rep.Schema()
+	out := make([]string, len(sch))
+	for i, a := range sch {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// FTree renders the result's factorisation tree.
+func (r *Result) FTree() string { return r.rep.Tree.String() }
+
+// String renders the factorised representation in the paper's notation,
+// decoding dictionary values.
+func (r *Result) String() string { return r.rep.StringDict(r.db.dict) }
+
+// Each enumerates the tuples (constant delay) as string-decoded rows until
+// fn returns false.
+func (r *Result) Each(fn func(row []string) bool) {
+	sch := r.rep.Schema()
+	r.rep.Enumerate(func(t relation.Tuple) bool {
+		row := make([]string, len(sch))
+		for i, v := range t {
+			row[i] = r.db.dict.Decode(v)
+		}
+		return fn(row)
+	})
+}
+
+// Rows materialises up to limit rows (limit <= 0: all).
+func (r *Result) Rows(limit int) [][]string {
+	var out [][]string
+	r.Each(func(row []string) bool {
+		out = append(out, append([]string(nil), row...))
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// Rep exposes the underlying representation (advanced use: direct access to
+// the internal packages).
+func (r *Result) Rep() *frep.FRep { return r.rep }
+
+// Iter returns a resumable constant-delay iterator over the result's
+// tuples (raw values; use Each/Rows for dictionary-decoded output). The
+// iterator is invalidated if the result is consumed by further operators.
+func (r *Result) Iter() *frep.Iterator { return frep.NewIterator(r.rep) }
+
+// Where applies equality conditions to the factorised result: the engine
+// searches for an optimal f-plan (restructuring + merge/absorb operators)
+// and executes it. The receiver is unchanged; a new Result is returned.
+func (r *Result) Where(clauses ...Clause) (*Result, error) {
+	s, err := compileSpec(modeWhere, clauses)
+	if err != nil {
+		return nil, err
+	}
+	rep := r.rep.Clone()
+	// Constant selections first (cheapest, Section 4).
+	for _, sel := range s.sels {
+		v, err := r.db.encode(sel.val)
+		if err != nil {
+			return nil, err
+		}
+		if err := (fplan.SelectConst{A: sel.attr, Op: sel.op, C: v}).Apply(rep); err != nil {
+			return nil, err
+		}
+	}
+	var conds []opt.Condition
+	for _, e := range s.eqs {
+		if rep.Tree.NodeOf(e.A) == nil || rep.Tree.NodeOf(e.B) == nil {
+			return nil, fmt.Errorf("fdb: condition %s=%s references attribute not in result", e.A, e.B)
+		}
+		if rep.Tree.NodeOf(e.A) != rep.Tree.NodeOf(e.B) {
+			conds = append(conds, opt.Condition{A: e.A, B: e.B})
+		}
+	}
+	if len(conds) > 0 {
+		res, err := opt.ExhaustivePlan(rep.Tree, conds, opt.PlanSearchOptions{})
+		if err != nil {
+			// Fall back to the greedy heuristic on large instances.
+			g, gerr := opt.GreedyPlan(rep.Tree, conds)
+			if gerr != nil {
+				return nil, err
+			}
+			res = g
+		}
+		if err := res.Plan.Execute(rep); err != nil {
+			return nil, err
+		}
+	}
+	if s.project != nil {
+		if err := (fplan.Project{Attrs: s.project}).Apply(rep); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{db: r.db, rep: rep}, nil
+}
+
+// Join combines two factorised results over disjoint attributes and applies
+// the given equality conditions — the Q1 ⋈ Q2 scenario of Example 2. Both
+// results must come from the same DB: values are dictionary-encoded per
+// database, so joining across databases would silently compare unrelated
+// codes and decode garbage.
+func (r *Result) Join(other *Result, clauses ...Clause) (*Result, error) {
+	if other == nil {
+		return nil, fmt.Errorf("fdb: Join with nil result")
+	}
+	if r.db != other.db {
+		return nil, fmt.Errorf("fdb: Join across different DB instances: the dictionary encodings are incompatible")
+	}
+	prod, err := fplan.Product(r.rep, other.rep)
+	if err != nil {
+		return nil, err
+	}
+	joined := &Result{db: r.db, rep: prod}
+	if len(clauses) == 0 {
+		return joined, nil
+	}
+	return joined.Where(clauses...)
+}
+
+// ProjectTo projects the factorised result onto the given attributes.
+func (r *Result) ProjectTo(attrs ...string) (*Result, error) {
+	rep := r.rep.Clone()
+	var as []relation.Attribute
+	for _, a := range attrs {
+		as = append(as, relation.Attribute(a))
+	}
+	if err := (fplan.Project{Attrs: as}).Apply(rep); err != nil {
+		return nil, err
+	}
+	return &Result{db: r.db, rep: rep}, nil
+}
+
+// Table renders the enumerated result (up to limit rows) as an aligned
+// table for display.
+func (r *Result) Table(limit int) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Schema(), "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Rows(limit) {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedSchema returns the schema sorted alphabetically (stable rendering
+// helper for tests).
+func (r *Result) SortedSchema() []string {
+	s := r.Schema()
+	sort.Strings(s)
+	return s
+}

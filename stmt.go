@@ -1,0 +1,242 @@
+package fdb
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fbuild"
+	"repro/internal/fplan"
+	"repro/internal/ftree"
+	"repro/internal/opt"
+	"repro/internal/relation"
+)
+
+// Stmt is a compiled, reusable select-project-join statement. Prepare pays
+// the expensive part of query evaluation once — clause validation, input
+// snapshot (clone + dedup + constant pre-filtering), optimal f-tree search,
+// and sorting every input in its f-tree path order — so that each Exec only
+// binds parameters, filters, and builds the factorised result.
+//
+// A Stmt snapshots its input relations at Prepare time: Inserts after
+// Prepare are not visible to Exec. Exec is safe for concurrent callers; the
+// shared snapshots are never mutated after Prepare.
+type Stmt struct {
+	db      *DB
+	tree    *ftree.T             // optimal f-tree of the compiled query
+	rels    []*relation.Relation // deduped, pre-filtered, path-sorted snapshots
+	psels   []paramSel           // parameterised selections, bound at Exec
+	params  []string             // distinct parameter names, declaration order
+	project []relation.Attribute // nil: keep all attributes
+	cost    float64              // s(T) of the optimal f-tree
+}
+
+// paramSel is one compiled parameterised selection: column col of input
+// relation rel compared against the value bound to the named parameter.
+type paramSel struct {
+	rel  int
+	col  int
+	op   fplan.Cmp
+	name string
+}
+
+// NamedArg binds a parameter name to a value for Exec; create it with Arg.
+type NamedArg struct {
+	Name  string
+	Value interface{}
+}
+
+// Arg binds the named Param placeholder to a value (int, int64 or string).
+func Arg(name string, value interface{}) NamedArg { return NamedArg{Name: name, Value: value} }
+
+// Prepare compiles a select-project-join query into a reusable statement.
+// Selections whose value is a Param placeholder are compiled into the plan
+// and bound per Exec; all other clauses are fixed at Prepare time.
+func (db *DB) Prepare(clauses ...Clause) (*Stmt, error) {
+	s, err := compileSpec(modeQuery, clauses)
+	if err != nil {
+		return nil, err
+	}
+	return db.prepareSpec(s)
+}
+
+// prepareSpec is the shared compile path behind Prepare and Query.
+func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
+	if len(s.from) == 0 {
+		return nil, fmt.Errorf("fdb: query needs From(...)")
+	}
+	// Snapshot the inputs under the read lock; dedup outside it.
+	db.mu.RLock()
+	rels := make([]*relation.Relation, len(s.from))
+	for i, name := range s.from {
+		r, ok := db.rels[name]
+		if !ok {
+			db.mu.RUnlock()
+			return nil, fmt.Errorf("fdb: unknown relation %q", name)
+		}
+		rels[i] = r.Clone()
+	}
+	db.mu.RUnlock()
+	for _, r := range rels {
+		r.Dedup()
+	}
+
+	// Split selections: constants are encoded and pre-filtered now,
+	// parameters become placeholders resolved per Exec.
+	var consts []core.ConstSel
+	var psels []paramSel
+	params := s.params()
+	for _, sel := range s.sels {
+		p, isParam := sel.val.(ParamValue)
+		if !isParam {
+			v, err := db.encode(sel.val)
+			if err != nil {
+				return nil, err
+			}
+			consts = append(consts, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
+			continue
+		}
+		ri, ci := -1, -1
+		for i, r := range rels {
+			if j := r.Schema.Index(sel.attr); j >= 0 {
+				ri, ci = i, j
+				break
+			}
+		}
+		if ri < 0 {
+			return nil, fmt.Errorf("fdb: selection on unknown attribute %q", sel.attr)
+		}
+		psels = append(psels, paramSel{rel: ri, col: ci, op: sel.op, name: p.name})
+	}
+
+	q := &core.Query{Relations: rels, Equalities: s.eqs, Selections: consts, Projection: s.project}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	// Constant selections are cheapest first (Section 4): filter inputs.
+	for i, r := range q.Relations {
+		var mine []core.ConstSel
+		for _, c := range q.Selections {
+			if r.Schema.Contains(c.A) {
+				mine = append(mine, c)
+			}
+		}
+		if len(mine) > 0 {
+			cols := make([]int, len(mine))
+			for j, c := range mine {
+				cols[j] = r.Schema.Index(c.A)
+			}
+			q.Relations[i] = r.Select(func(t relation.Tuple) bool {
+				for j, c := range mine {
+					if !c.Match(t[cols[j]]) {
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	tr, cost, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	// Sort every snapshot in its f-tree path order once; Exec-time builds
+	// then see pre-sorted inputs and never mutate the shared snapshots.
+	if err := fbuild.SortFor(q.Relations, tr); err != nil {
+		return nil, err
+	}
+	return &Stmt{
+		db:      db,
+		tree:    tr,
+		rels:    q.Relations,
+		psels:   psels,
+		params:  params,
+		project: s.project,
+		cost:    cost,
+	}, nil
+}
+
+// Params lists the statement's parameter names in declaration order.
+func (st *Stmt) Params() []string { return append([]string(nil), st.params...) }
+
+// Cost returns the cost s(T) of the statement's optimal f-tree.
+func (st *Stmt) Cost() float64 { return st.cost }
+
+// FTree renders the statement's compiled f-tree.
+func (st *Stmt) FTree() string { return st.tree.String() }
+
+// Exec runs the compiled statement with the given parameter bindings and
+// returns a fresh factorised result. Safe for concurrent callers.
+func (st *Stmt) Exec(args ...NamedArg) (*Result, error) {
+	return st.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with cancellation: the factorisation build and the
+// baked projection observe ctx and abort with its error.
+func (st *Stmt) ExecContext(ctx context.Context, args ...NamedArg) (*Result, error) {
+	bound := make(map[string]relation.Value, len(args))
+	for _, a := range args {
+		known := false
+		for _, p := range st.params {
+			if p == a.Name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("fdb: unknown parameter %q", a.Name)
+		}
+		if _, dup := bound[a.Name]; dup {
+			return nil, fmt.Errorf("fdb: parameter %q bound twice", a.Name)
+		}
+		v, err := st.db.encode(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		bound[a.Name] = v
+	}
+	for _, p := range st.params {
+		if _, ok := bound[p]; !ok {
+			return nil, fmt.Errorf("fdb: missing parameter %q", p)
+		}
+	}
+
+	rels := st.rels
+	if len(st.psels) > 0 {
+		// Filter the affected snapshots with the bound constants. Filter
+		// shares tuple storage and preserves order, so the filtered inputs
+		// stay sorted and the shared snapshots stay untouched.
+		rels = append([]*relation.Relation(nil), st.rels...)
+		byRel := map[int][]core.ConstSel{}
+		cols := map[int][]int{}
+		for _, ps := range st.psels {
+			byRel[ps.rel] = append(byRel[ps.rel], core.ConstSel{Op: ps.op, C: bound[ps.name]})
+			cols[ps.rel] = append(cols[ps.rel], ps.col)
+		}
+		for ri, sels := range byRel {
+			cs := cols[ri]
+			rels[ri] = rels[ri].Filter(func(t relation.Tuple) bool {
+				for i, c := range sels {
+					if !c.Match(t[cs[i]]) {
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Each Exec gets its own tree: downstream f-plan operators (projection,
+	// Result.Where) restructure it in place.
+	fr, err := fbuild.BuildContext(ctx, rels, st.tree.Clone())
+	if err != nil {
+		return nil, err
+	}
+	if st.project != nil {
+		plan := fplan.Plan{Ops: []fplan.Op{fplan.Project{Attrs: st.project}}}
+		if err := plan.ExecuteContext(ctx, fr); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{db: st.db, rep: fr}, nil
+}

@@ -1,0 +1,434 @@
+package fdb
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func prepQ1Item(t *testing.T, db *DB) *Stmt {
+	t.Helper()
+	stmt, err := db.Prepare(
+		From("Orders", "Store", "Disp"),
+		Eq("Orders.item", "Store.item"),
+		Eq("Store.location", "Disp.location"),
+		Cmp("Orders.item", EQ, Param("item")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+func TestPrepareExecMatchesQuery(t *testing.T) {
+	db := grocery(t)
+	stmt := prepQ1Item(t, db)
+	if got := stmt.Params(); len(got) != 1 || got[0] != "item" {
+		t.Fatalf("Params() = %v", got)
+	}
+	for _, item := range []string{"Milk", "Cheese", "Melon", "Bread"} {
+		res, err := stmt.Exec(Arg("item", item))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.Query(
+			From("Orders", "Store", "Disp"),
+			Eq("Orders.item", "Store.item"),
+			Eq("Store.location", "Disp.location"),
+			Cmp("Orders.item", EQ, item))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count() != want.Count() {
+			t.Fatalf("item %s: Exec count %d != Query count %d", item, res.Count(), want.Count())
+		}
+	}
+}
+
+func TestPreparedProjectionAndNoParams(t *testing.T) {
+	db := grocery(t)
+	stmt, err := db.Prepare(
+		From("Orders", "Store", "Disp"),
+		Eq("Orders.item", "Store.item"),
+		Eq("Store.location", "Disp.location"),
+		Project("Orders.oid", "Disp.dispatcher"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schema()) != 2 {
+		t.Fatalf("projected schema = %v", res.Schema())
+	}
+	// Re-execution of the same statement yields an equal result.
+	res2, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != res2.Count() || res.Size() != res2.Size() {
+		t.Fatalf("re-exec diverged: (%d,%d) vs (%d,%d)", res.Count(), res.Size(), res2.Count(), res2.Size())
+	}
+}
+
+func TestExecParamErrors(t *testing.T) {
+	db := grocery(t)
+	stmt := prepQ1Item(t, db)
+	if _, err := stmt.Exec(); err == nil || !strings.Contains(err.Error(), "missing parameter") {
+		t.Fatalf("missing param: err = %v", err)
+	}
+	if _, err := stmt.Exec(Arg("item", "Milk"), Arg("ghost", 1)); err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("unknown param: err = %v", err)
+	}
+	if _, err := stmt.Exec(Arg("item", "Milk"), Arg("item", "Cheese")); err == nil || !strings.Contains(err.Error(), "bound twice") {
+		t.Fatalf("duplicate param: err = %v", err)
+	}
+	if _, err := stmt.Exec(Arg("item", 1.5)); err == nil || !strings.Contains(err.Error(), "unsupported value type") {
+		t.Fatalf("bad value type: err = %v", err)
+	}
+	// Unbound parameters are rejected by ad-hoc Query.
+	if _, err := db.Query(From("Orders"), Cmp("Orders.item", EQ, Param("item"))); err == nil || !strings.Contains(err.Error(), "unbound parameter") {
+		t.Fatalf("param in Query: err = %v", err)
+	}
+	// Param on an attribute of no input relation fails at Prepare.
+	if _, err := db.Prepare(From("Orders"), Cmp("Ghost.attr", EQ, Param("x"))); err == nil {
+		t.Fatal("param selection on unknown attribute accepted")
+	}
+	// Empty parameter name fails at compile time.
+	if _, err := db.Prepare(From("Orders"), Cmp("Orders.item", EQ, Param(""))); err == nil {
+		t.Fatal("empty parameter name accepted")
+	}
+}
+
+func TestClauseErrors(t *testing.T) {
+	db := grocery(t)
+	if _, err := db.Query(nil); err == nil || !strings.Contains(err.Error(), "nil clause") {
+		t.Fatalf("nil clause: err = %v", err)
+	}
+	if _, err := db.Prepare(From("Orders"), Eq("", "Orders.item")); err == nil {
+		t.Fatal("empty Eq side accepted")
+	}
+	res, err := db.Query(From("Orders"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From inside Where is rejected (one honest clause path, no silent no-ops).
+	if _, err := res.Where(From("Store")); err == nil || !strings.Contains(err.Error(), "not allowed in Where") {
+		t.Fatalf("From in Where: err = %v", err)
+	}
+	// Where on an attribute absent from the result errors.
+	if _, err := res.Where(Eq("Orders.item", "Produce.item")); err == nil || !strings.Contains(err.Error(), "not in result") {
+		t.Fatalf("Where on absent attribute: err = %v", err)
+	}
+	// Constant selection on an absent attribute errors too.
+	if _, err := res.Where(Cmp("Ghost.attr", EQ, 1)); err == nil {
+		t.Fatal("Cmp on absent attribute accepted in Where")
+	}
+	// Param placeholders make no sense in Where.
+	if _, err := res.Where(Cmp("Orders.item", EQ, Param("x"))); err == nil {
+		t.Fatal("Param accepted in Where")
+	}
+}
+
+func TestJoinAcrossDatabasesRejected(t *testing.T) {
+	db1 := grocery(t)
+	db2 := grocery(t)
+	r1, err := db1.Query(From("Orders"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Query(From("Produce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Join(r2); err == nil || !strings.Contains(err.Error(), "different DB") {
+		t.Fatalf("cross-DB join: err = %v", err)
+	}
+	if _, err := r1.Join(nil); err == nil {
+		t.Fatal("nil join accepted")
+	}
+	// Same-DB joins still work.
+	r3, err := db1.Query(From("Produce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Join(r3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStmtSnapshotIsolation(t *testing.T) {
+	db := grocery(t)
+	stmt := prepQ1Item(t, db)
+	before, err := stmt.Exec(Arg("item", "Milk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New data after Prepare is invisible to the statement...
+	db.MustInsert("Orders", "09", "Milk")
+	after, err := stmt.Exec(Arg("item", "Milk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count() != before.Count() {
+		t.Fatalf("snapshot leaked: %d != %d", after.Count(), before.Count())
+	}
+	// ...but visible to a freshly prepared one.
+	fresh, err := prepQ1Item(t, db).Exec(Arg("item", "Milk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Count() <= before.Count() {
+		t.Fatalf("fresh statement missed the insert: %d <= %d", fresh.Count(), before.Count())
+	}
+}
+
+func TestPlanCacheHitsAndInvalidation(t *testing.T) {
+	db := grocery(t)
+	q := []Clause{
+		From("Orders", "Store", "Disp"),
+		Eq("Orders.item", "Store.item"),
+		Eq("Store.location", "Disp.location"),
+	}
+	if _, err := db.Query(q...); err != nil {
+		t.Fatal(err)
+	}
+	s0 := db.CacheStats()
+	if s0.Misses == 0 || s0.Entries == 0 {
+		t.Fatalf("first query should miss and populate: %+v", s0)
+	}
+	if _, err := db.Query(q...); err != nil {
+		t.Fatal(err)
+	}
+	s1 := db.CacheStats()
+	if s1.Hits != s0.Hits+1 {
+		t.Fatalf("identical query did not hit the cache: %+v -> %+v", s0, s1)
+	}
+	// Syntactic permutation shares the canonical fingerprint.
+	if _, err := db.Query(
+		From("Disp", "Orders", "Store"),
+		Eq("Store.location", "Disp.location"),
+		Eq("Store.item", "Orders.item")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db.CacheStats()
+	if s2.Hits != s1.Hits+1 {
+		t.Fatalf("permuted query did not hit the cache: %+v -> %+v", s1, s2)
+	}
+	// An insert evicts plans over the relation immediately (their data
+	// snapshots are stale) and must never serve them again.
+	db.MustInsert("Orders", "09", "Milk")
+	if s := db.CacheStats(); s.Entries != 0 {
+		t.Fatalf("stale entries not evicted on insert: %+v", s)
+	}
+	res, err := db.Query(q...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := db.CacheStats()
+	if s3.Hits != s2.Hits {
+		t.Fatalf("stale plan served after insert: %+v -> %+v", s2, s3)
+	}
+	want, err := db.Prepare(q...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := want.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != wantRes.Count() {
+		t.Fatalf("recompiled query returned stale data: %d != %d", res.Count(), wantRes.Count())
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	db := grocery(t)
+	db.SetPlanCacheCapacity(0)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(From("Orders")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.CacheStats()
+	if s.Hits != 0 || s.Entries != 0 {
+		t.Fatalf("disabled cache still serving: %+v", s)
+	}
+}
+
+func TestConcurrentExecAndQuery(t *testing.T) {
+	db := grocery(t)
+	stmt := prepQ1Item(t, db)
+	items := []string{"Milk", "Cheese", "Melon"}
+	want := map[string]int64{}
+	for _, it := range items {
+		res, err := stmt.Exec(Arg("item", it))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[it] = res.Count()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				it := items[(g+i)%len(items)]
+				res, err := stmt.Exec(Arg("item", it))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count() != want[it] {
+					errs <- errCount{it, res.Count(), want[it]}
+					return
+				}
+				// Mixed-in cached ad-hoc queries and enumeration.
+				if g%2 == 0 {
+					q, err := db.Query(From("Produce", "Serve"), Eq("Produce.supplier", "Serve.supplier"))
+					if err != nil {
+						errs <- err
+						return
+					}
+					q.Rows(3)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errCount struct {
+	item      string
+	got, want int64
+}
+
+func (e errCount) Error() string { return "count mismatch for " + e.item }
+
+func TestConcurrentInsertsAndQueries(t *testing.T) {
+	db := New()
+	db.MustCreate("R", "a", "b")
+	for i := 0; i < 50; i++ {
+		db.MustInsert("R", i, i%7)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 50; i < 150; i++ {
+			if err := db.Insert("R", i, i%7); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			res, err := db.Query(From("R"), Cmp("R.b", EQ, 3))
+			if err != nil {
+				errs <- err
+				return
+			}
+			res.Count()
+		}
+	}()
+	// Snapshot readers and TSV export race against the inserter too.
+	tsv := t.TempDir() + "/r.tsv"
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			r, ok := db.Relation("R")
+			if !ok {
+				errs <- errCount{"R", 0, 0}
+				return
+			}
+			n := 0
+			for range r.Tuples {
+				n++
+			}
+			if err := db.SaveTSV(tsv, "R"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestExecContextCancellation(t *testing.T) {
+	db := New()
+	db.MustCreate("A", "x", "p")
+	db.MustCreate("B", "y", "q")
+	for i := 0; i < 400; i++ {
+		db.MustInsert("A", i%20, i)
+		db.MustInsert("B", i%20, i)
+	}
+	stmt, err := db.Prepare(From("A", "B"), Eq("A.x", "B.y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the build must abort, not complete
+	if _, err := stmt.ExecContext(ctx); err == nil {
+		t.Fatal("cancelled ExecContext succeeded")
+	} else if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A live context still completes.
+	if _, err := stmt.ExecContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	db := grocery(t)
+	s1, v1, err := db.fingerprint(&spec{from: []string{"Orders", "Store"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := db.fingerprint(&spec{from: []string{"Store", "Orders"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("permuted From changed fingerprint:\n%s\n%s", s1, s2)
+	}
+	s3, _, err := db.fingerprint(&spec{from: []string{"Orders"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s3 {
+		t.Fatal("different queries share a fingerprint")
+	}
+	if v1["Orders"] == 0 {
+		t.Fatalf("versions not tracked: %v", v1)
+	}
+	if _, _, err := db.fingerprint(&spec{from: []string{"Ghost"}}); err == nil {
+		t.Fatal("fingerprint accepted unknown relation")
+	}
+}
+
+func TestNegativePlanCacheCapacity(t *testing.T) {
+	db := grocery(t)
+	db.SetPlanCacheCapacity(-1) // negative disables, like 0, without panicking
+	if _, err := db.Query(From("Orders")); err != nil {
+		t.Fatal(err)
+	}
+	if s := db.CacheStats(); s.Entries != 0 {
+		t.Fatalf("negative capacity still caching: %+v", s)
+	}
+}
