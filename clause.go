@@ -5,12 +5,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fplan"
+	"repro/internal/frep"
 	"repro/internal/relation"
 )
 
 // Clause is one element of a query: relation list, equality, constant (or
-// parameterised) selection, or projection. Clauses are built with From, Eq,
-// Cmp and Project and compiled by Query, Prepare and Result.Where.
+// parameterised) selection, projection, grouping or aggregation. Clauses
+// are built with From, Eq, Cmp, Project, GroupBy and Agg and compiled by
+// Query, QueryAgg, Prepare and Result.Where.
 type Clause interface{ apply(*spec) error }
 
 // specMode says which clause kinds a compilation site accepts.
@@ -28,6 +30,8 @@ type spec struct {
 	eqs     []core.Equality
 	sels    []selSpec
 	project []relation.Attribute
+	groupBy []relation.Attribute
+	aggs    []frep.AggSpec
 }
 
 // selSpec is one selection attr θ value; val is a Go constant (int, int64,
@@ -160,3 +164,63 @@ func (p projClause) apply(s *spec) error {
 
 // Project keeps only the named attributes in the result.
 func Project(attrs ...string) Clause { return projClause(attrs) }
+
+// AggFn selects an aggregate function for Agg.
+type AggFn = frep.AggFunc
+
+// Aggregate functions for Agg clauses. Sum, Min and Max operate on the
+// engine's int64 values; on dictionary-encoded string attributes Min and
+// Max order by dictionary code, not lexicographically.
+const (
+	Count         = frep.AggCount
+	Sum           = frep.AggSum
+	Min           = frep.AggMin
+	Max           = frep.AggMax
+	CountDistinct = frep.AggCountDistinct
+)
+
+type groupByClause []string
+
+func (g groupByClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: GroupBy is not allowed in Where/Join; use QueryAgg or Prepare+ExecAgg")
+	}
+	for _, a := range g {
+		if a == "" {
+			return fmt.Errorf("fdb: GroupBy needs non-empty attribute names")
+		}
+		s.groupBy = append(s.groupBy, relation.Attribute(a))
+	}
+	return nil
+}
+
+// GroupBy groups the aggregates of the query's Agg clauses by the named
+// attributes. It requires at least one Agg clause; the result rows carry
+// one group key per attribute plus one value per aggregate.
+func GroupBy(attrs ...string) Clause { return groupByClause(attrs) }
+
+type aggClause struct {
+	fn   AggFn
+	attr string
+}
+
+func (a aggClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: Agg is not allowed in Where/Join; use QueryAgg or Prepare+ExecAgg")
+	}
+	if a.fn != Count && a.attr == "" {
+		return fmt.Errorf("fdb: Agg(%s) needs an attribute", a.fn)
+	}
+	if a.fn == Count && a.attr != "" {
+		return fmt.Errorf("fdb: Agg(Count) takes no attribute (it counts result tuples); got %q", a.attr)
+	}
+	s.aggs = append(s.aggs, frep.AggSpec{Fn: a.fn, Attr: relation.Attribute(a.attr)})
+	return nil
+}
+
+// Agg adds an aggregate to compute over the query result (or over each
+// group, with GroupBy): Count, Sum, Min, Max or CountDistinct. Count takes
+// attr == ""; every other function folds over the named attribute. The
+// aggregates are evaluated in one pass over the factorised representation,
+// never over the flat result.
+func Agg(fn AggFn, attr string) Clause { return aggClause{fn: fn, attr: attr} }

@@ -1,0 +1,73 @@
+// Command benchcmp is the CI benchmark-regression gate. Two modes:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchcmp -record BENCH_ci.json
+//	benchcmp -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25
+//
+// Record parses `go test -bench` output from stdin (concatenate several
+// runs to keep per-benchmark minima) into a JSON file that also carries
+// the BenchmarkCalibrate time of the run. Compare normalises both sides by
+// their calibration time — so a baseline recorded on one machine gates
+// runs on another — and exits non-zero when a tracked benchmark (default:
+// the build/exec/aggregate hot paths) got more than -threshold slower, or
+// vanished from the current run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	record := flag.String("record", "", "parse bench output from stdin and write this JSON file")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	current := flag.String("current", "", "current-run JSON to compare")
+	threshold := flag.Float64("threshold", 0.25, "allowed slowdown of tracked benchmarks (0.25 = 25%)")
+	tracked := flag.String("tracked", "Build|Exec|Aggregate", "regexp of benchmark names gated for regression")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		res, err := benchcmp.ParseGoBench(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteFile(*record); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d benchmarks (calibration %.0f ns) to %s\n",
+			len(res.Benchmarks), res.CalibrationNS, *record)
+	case *baseline != "" && *current != "":
+		re, err := regexp.Compile(*tracked)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := benchcmp.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := benchcmp.ReadFile(*current)
+		if err != nil {
+			fatal(err)
+		}
+		cmp := benchcmp.Compare(base, cur, re, *threshold)
+		cmp.Report(os.Stdout)
+		if cmp.Failed() {
+			fmt.Printf("FAIL: tracked hot path regressed beyond %.0f%% (normalised)\n", *threshold*100)
+			os.Exit(1)
+		}
+		fmt.Println("benchmark gate passed")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -record out.json < bench.txt")
+		fmt.Fprintln(os.Stderr, "       benchcmp -baseline base.json -current cur.json [-threshold 0.25] [-tracked RE]")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -7,7 +7,11 @@
 //	    -from Orders,Store,Disp \
 //	    -eq Orders.item=Store.item -eq Store.location=Disp.location \
 //	    [-where 'Orders.oid<=3'] [-where 'Orders.item=$item' -param item=Milk] \
-//	    [-project Orders.oid,Disp.dispatcher] [-rows 20]
+//	    [-project Orders.oid,Disp.dispatcher] [-rows 20] \
+//	    [-groupby Store.location -agg count -agg 'sum(Orders.oid)']
+//
+// With -agg (and optionally -groupby), the query aggregates in one pass
+// over the factorised result and prints one row per group.
 //
 // A -where value of the form $name compiles to a statement parameter bound
 // by a matching -param name=value flag.
@@ -42,13 +46,15 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var loads, eqs, wheres, params multiFlag
+	var loads, eqs, wheres, params, aggs multiFlag
 	flag.Var(&loads, "load", "relation file to load (repeatable)")
 	from := flag.String("from", "", "comma-separated relations to join")
 	flag.Var(&eqs, "eq", "equality A=B over qualified attributes (repeatable)")
 	flag.Var(&wheres, "where", "selection attr(=|!=|<|<=|>|>=)value; value $name binds a parameter (repeatable)")
 	flag.Var(&params, "param", "parameter binding name=value for $name placeholders (repeatable)")
 	project := flag.String("project", "", "comma-separated attributes to keep")
+	flag.Var(&aggs, "agg", "aggregate count | sum(A) | min(A) | max(A) | distinct(A) (repeatable)")
+	groupBy := flag.String("groupby", "", "comma-separated attributes to group the aggregates by")
 	rows := flag.Int("rows", 10, "result rows to print (0: all)")
 	interactive := flag.Bool("i", false, "start an interactive REPL after loading")
 	flag.Parse()
@@ -89,6 +95,16 @@ func main() {
 	if *project != "" {
 		clauses = append(clauses, fdb.Project(strings.Split(*project, ",")...))
 	}
+	if *groupBy != "" {
+		clauses = append(clauses, fdb.GroupBy(strings.Split(*groupBy, ",")...))
+	}
+	for _, a := range aggs {
+		c, err := parseAgg(a)
+		if err != nil {
+			fatal(err)
+		}
+		clauses = append(clauses, c)
+	}
 	stmt, err := db.Prepare(clauses...)
 	if err != nil {
 		fatal(err)
@@ -97,11 +113,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if len(stmt.Aggregates()) > 0 {
+		ar, err := stmt.ExecAgg(args...)
+		if err != nil {
+			fatal(err)
+		}
+		reportAgg(ar, *rows)
+		return
+	}
 	res, err := stmt.Exec(args...)
 	if err != nil {
 		fatal(err)
 	}
 	report(res, *rows)
+}
+
+// parseAgg parses an aggregate token: count, sum(A), min(A), max(A) or
+// distinct(A) (also accepted as count_distinct(A)).
+func parseAgg(tok string) (fdb.Clause, error) {
+	if tok == "count" {
+		return fdb.Agg(fdb.Count, ""), nil
+	}
+	i := strings.Index(tok, "(")
+	if i < 1 || !strings.HasSuffix(tok, ")") {
+		return nil, fmt.Errorf("bad aggregate %q (want count, sum(A), min(A), max(A) or distinct(A))", tok)
+	}
+	attr := tok[i+1 : len(tok)-1]
+	switch tok[:i] {
+	case "sum":
+		return fdb.Agg(fdb.Sum, attr), nil
+	case "min":
+		return fdb.Agg(fdb.Min, attr), nil
+	case "max":
+		return fdb.Agg(fdb.Max, attr), nil
+	case "distinct", "count_distinct":
+		return fdb.Agg(fdb.CountDistinct, attr), nil
+	}
+	return nil, fmt.Errorf("unknown aggregate function %q", tok[:i])
 }
 
 // parseWhere parses attr<op>value; a value of $name becomes a Param.
@@ -163,6 +211,11 @@ func report(res *fdb.Result, rows int) {
 	fmt.Print(res.Table(rows))
 }
 
+func reportAgg(ar *fdb.AggResult, rows int) {
+	fmt.Printf("groups: %d\n", ar.Len())
+	fmt.Print(ar.Table(rows))
+}
+
 // ------------------------------------------------------------------- REPL
 
 const replHelp = `commands:
@@ -174,7 +227,10 @@ const replHelp = `commands:
   stats                            plan cache statistics
   help | quit
 query syntax:
-  from R1,R2 [eq A=B ...] [where ATTR(=|!=|<|<=|>|>=)VAL ...] [project A,B]`
+  from R1,R2 [eq A=B ...] [where ATTR(=|!=|<|<=|>|>=)VAL ...] [project A,B]
+  [groupby A,B] [agg count|sum(A)|min(A)|max(A)|distinct(A) ...]
+aggregation queries (agg, optionally groupby) print one row per group,
+computed in a single pass over the factorised result.`
 
 // repl reads commands from stdin until EOF or quit.
 func repl(db *fdb.DB, rows int) {
@@ -242,7 +298,7 @@ func replPrepare(db *fdb.DB, stmts map[string]*fdb.Stmt, rest []string) error {
 	if len(rest) < 2 {
 		return fmt.Errorf("usage: prepare <name> <query>")
 	}
-	clauses, err := parseQuery(rest[1:])
+	clauses, _, err := parseQuery(rest[1:])
 	if err != nil {
 		return err
 	}
@@ -251,7 +307,11 @@ func replPrepare(db *fdb.DB, stmts map[string]*fdb.Stmt, rest []string) error {
 		return err
 	}
 	stmts[rest[0]] = stmt
-	fmt.Printf("  %s compiled: s(T)=%.1f, params %v\n", rest[0], stmt.Cost(), stmt.Params())
+	if aggs := stmt.Aggregates(); len(aggs) > 0 {
+		fmt.Printf("  %s compiled: s(T)=%.1f, params %v, aggregates %v\n", rest[0], stmt.Cost(), stmt.Params(), aggs)
+	} else {
+		fmt.Printf("  %s compiled: s(T)=%.1f, params %v\n", rest[0], stmt.Cost(), stmt.Params())
+	}
 	return nil
 }
 
@@ -267,6 +327,14 @@ func replExec(stmts map[string]*fdb.Stmt, rest []string, rows int) error {
 	if err != nil {
 		return err
 	}
+	if len(stmt.Aggregates()) > 0 {
+		ar, err := stmt.ExecAgg(args...)
+		if err != nil {
+			return err
+		}
+		reportAgg(ar, rows)
+		return nil
+	}
 	res, err := stmt.Exec(args...)
 	if err != nil {
 		return err
@@ -276,9 +344,17 @@ func replExec(stmts map[string]*fdb.Stmt, rest []string, rows int) error {
 }
 
 func replQuery(db *fdb.DB, rest []string, rows int) error {
-	clauses, err := parseQuery(rest)
+	clauses, hasAgg, err := parseQuery(rest)
 	if err != nil {
 		return err
+	}
+	if hasAgg {
+		ar, err := db.QueryAgg(clauses...)
+		if err != nil {
+			return err
+		}
+		reportAgg(ar, rows)
+		return nil
 	}
 	res, err := db.Query(clauses...)
 	if err != nil {
@@ -289,49 +365,69 @@ func replQuery(db *fdb.DB, rest []string, rows int) error {
 }
 
 // parseQuery parses the REPL query grammar: from R1,R2 eq A=B ... where
-// ATTR<op>VAL ... project A,B.
-func parseQuery(tokens []string) ([]fdb.Clause, error) {
+// ATTR<op>VAL ... project A,B groupby A,B agg count|sum(A)|... It also
+// reports whether the query aggregates (and so runs through
+// QueryAgg/ExecAgg rather than Query/Exec).
+func parseQuery(tokens []string) ([]fdb.Clause, bool, error) {
 	var clauses []fdb.Clause
+	hasAgg := false
 	i := 0
 	for i < len(tokens) {
 		switch tokens[i] {
 		case "from":
 			if i+1 >= len(tokens) {
-				return nil, fmt.Errorf("from needs a relation list")
+				return nil, false, fmt.Errorf("from needs a relation list")
 			}
 			clauses = append(clauses, fdb.From(strings.Split(tokens[i+1], ",")...))
 			i += 2
 		case "eq":
 			if i+1 >= len(tokens) {
-				return nil, fmt.Errorf("eq needs A=B")
+				return nil, false, fmt.Errorf("eq needs A=B")
 			}
 			parts := strings.SplitN(tokens[i+1], "=", 2)
 			if len(parts) != 2 {
-				return nil, fmt.Errorf("bad eq %q", tokens[i+1])
+				return nil, false, fmt.Errorf("bad eq %q", tokens[i+1])
 			}
 			clauses = append(clauses, fdb.Eq(parts[0], parts[1]))
 			i += 2
 		case "where":
 			if i+1 >= len(tokens) {
-				return nil, fmt.Errorf("where needs a condition")
+				return nil, false, fmt.Errorf("where needs a condition")
 			}
 			c, err := parseWhere(tokens[i+1])
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			clauses = append(clauses, c)
 			i += 2
 		case "project":
 			if i+1 >= len(tokens) {
-				return nil, fmt.Errorf("project needs an attribute list")
+				return nil, false, fmt.Errorf("project needs an attribute list")
 			}
 			clauses = append(clauses, fdb.Project(strings.Split(tokens[i+1], ",")...))
 			i += 2
+		case "groupby":
+			if i+1 >= len(tokens) {
+				return nil, false, fmt.Errorf("groupby needs an attribute list")
+			}
+			clauses = append(clauses, fdb.GroupBy(strings.Split(tokens[i+1], ",")...))
+			i += 2
+		case "agg":
+			if i+1 >= len(tokens) {
+				return nil, false, fmt.Errorf("agg needs a function (count, sum(A), min(A), max(A), distinct(A))")
+			}
+			c, err := parseAgg(tokens[i+1])
+			if err != nil {
+				return nil, false, err
+			}
+			clauses = append(clauses, c)
+			hasAgg = true
+			i += 2
 		default:
-			return nil, fmt.Errorf("unexpected token %q", tokens[i])
+			return nil, false, fmt.Errorf("unexpected token %q", tokens[i])
 		}
 	}
-	return clauses, nil
+	return clauses, hasAgg, nil
 }
 
 // demo runs Q1 of the paper on the grocery database of Figure 1, then shows
@@ -377,6 +473,19 @@ func demo() {
 		}
 		fmt.Printf("  item=%s: %d tuples, %d singletons\n", item, r.Count(), r.Size())
 	}
+
+	fmt.Println("\naggregated: orders and distinct items per location, one pass over the f-rep")
+	ar, err := db.QueryAgg(
+		fdb.From("Orders", "Store", "Disp"),
+		fdb.Eq("Orders.item", "Store.item"),
+		fdb.Eq("Store.location", "Disp.location"),
+		fdb.GroupBy("Store.location"),
+		fdb.Agg(fdb.Count, ""),
+		fdb.Agg(fdb.CountDistinct, "Orders.item"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ar.Table(0))
 }
 
 func fatal(err error) {

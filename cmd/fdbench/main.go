@@ -7,6 +7,7 @@
 //	fdbench -exp 3 -comb      # Figure 7 (right column): combinatorial data
 //	fdbench -exp 4            # Figure 8:   evaluation on factorised data
 //	fdbench -exp 5            # prepared statements vs ad-hoc queries
+//	fdbench -exp 6            # factorised aggregation vs enumerate-then-fold
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -40,6 +41,7 @@ func main() {
 		exp3(*seed, *timeout, *maxN, true)
 		exp4(*seed, *runs, *timeout)
 		exp5(*seed, *runs)
+		exp6(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -50,8 +52,10 @@ func main() {
 		exp4(*seed, *runs, *timeout)
 	case 5:
 		exp5(*seed, *runs)
+	case 6:
+		exp6(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..5")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..6")
 		os.Exit(2)
 	}
 }
@@ -144,6 +148,49 @@ func exp5(seed int64, runs int) {
 		fmt.Printf("%d %.3f %.3f %.2f %d %d\n",
 			row.Execs, row.AdhocNS/1e6, row.PreparedNS/1e6, row.Speedup,
 			row.CacheHits, row.CacheMisses)
+	}
+}
+
+func exp6(seed int64, runs int) {
+	fmt.Println("# Experiment 6: grouped aggregation on the factorised result — single pass vs enumerate-then-fold")
+	fmt.Println("# workload scale frep_size flat_tuples groups fact_ms fold_ms speedup fold_skipped")
+	rng := rand.New(rand.NewSource(seed))
+	run := func(workload string, scale int, point func(*rand.Rand, bench.Exp6Config) (bench.Exp6Row, error)) {
+		var acc bench.Exp6Row
+		n := 0
+		for i := 0; i < runs; i++ {
+			row, err := point(rng, bench.Exp6Config{Scale: scale, MaxFold: 5_000_000})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				return
+			}
+			acc.FRepSize += row.FRepSize
+			acc.Tuples += row.Tuples
+			acc.Groups += row.Groups
+			acc.FactMS += row.FactMS
+			acc.FoldMS += row.FoldMS
+			if row.FoldSkipped {
+				acc.FoldSkipped = true
+			}
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		f := float64(n)
+		speedup := 0.0
+		if acc.FactMS > 0 && !acc.FoldSkipped {
+			speedup = acc.FoldMS / acc.FactMS
+		}
+		fmt.Printf("%s %d %d %d %d %.3f %.3f %.1f %v\n",
+			workload, scale, acc.FRepSize/int64(n), acc.Tuples/int64(n), acc.Groups/n,
+			acc.FactMS/f, acc.FoldMS/f, speedup, acc.FoldSkipped)
+	}
+	for _, scale := range []int{1, 2, 4, 8} {
+		run("retailer", scale, bench.Experiment6Retailer)
+	}
+	for _, length := range []int{2, 4, 6, 8} {
+		run("chain", length, bench.Experiment6Chain)
 	}
 }
 

@@ -2,6 +2,7 @@ package fdb
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -174,22 +175,60 @@ func (db *DB) Query(clauses ...Clause) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(s.aggs) > 0 {
+		return nil, fmt.Errorf("fdb: query computes aggregates; use QueryAgg")
+	}
+	st, err := db.cachedStmt(s)
+	if err != nil {
+		return nil, err
+	}
+	return st.Exec()
+}
+
+// QueryAgg compiles and runs an aggregation query — From/Eq/Cmp clauses
+// plus at least one Agg, optionally GroupBy — and returns its aggregate
+// rows. The query compiles like Query (shared plan cache, keyed by a
+// fingerprint extended with the grouping and aggregate list; the compiled
+// f-tree is restructured so group-by attributes sit above aggregated
+// ones), then the aggregates are evaluated in a single pass over the
+// factorised result, never over its flattening.
+func (db *DB) QueryAgg(clauses ...Clause) (*AggResult, error) {
+	s, err := compileSpec(modeQuery, clauses)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.aggs) == 0 {
+		return nil, fmt.Errorf("fdb: QueryAgg needs at least one Agg clause")
+	}
+	st, err := db.cachedStmt(s)
+	if err != nil {
+		return nil, err
+	}
+	return st.ExecAgg()
+}
+
+// cachedStmt resolves a compiled statement for the spec through the plan
+// cache (compiling and inserting on miss), the shared path behind Query
+// and QueryAgg.
+func (db *DB) cachedStmt(s *spec) (*Stmt, error) {
 	if ps := s.params(); len(ps) > 0 {
 		return nil, fmt.Errorf("fdb: unbound parameter %q: use Prepare and Exec for parameterised queries", ps[0])
 	}
+	// Reject before the cache lookup: the fingerprint of an agg-free spec
+	// ignores groupBy, so this invalid shape would otherwise alias the
+	// cached plain query and succeed on a warm cache.
+	if len(s.groupBy) > 0 && len(s.aggs) == 0 {
+		return nil, fmt.Errorf("fdb: GroupBy needs at least one Agg clause")
+	}
 	if db.cache.capacity() <= 0 {
-		st, err := db.prepareSpec(s)
-		if err != nil {
-			return nil, err
-		}
-		return st.Exec()
+		return db.prepareSpec(s)
 	}
 	key, vers, err := db.fingerprint(s)
 	if err != nil {
 		return nil, err
 	}
 	if st, ok := db.cache.get(key, vers); ok {
-		return st.Exec()
+		return st, nil
 	}
 	// The miss path resolves the relations a second time inside
 	// prepareSpec; that duplication is two map lookups and constant
@@ -204,7 +243,7 @@ func (db *DB) Query(clauses ...Clause) (*Result, error) {
 	if db.versMatch(vers) {
 		db.cache.put(key, st, vers)
 	}
-	return st.Exec()
+	return st, nil
 }
 
 // versMatch reports whether the given relation versions are still current.
@@ -243,7 +282,25 @@ func (db *DB) fingerprint(s *spec) (string, map[string]uint64, error) {
 		}
 		q.Selections = append(q.Selections, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
 	}
-	return q.Fingerprint(), vers, nil
+	key := q.Fingerprint()
+	// Aggregation restructures the compiled tree (group attributes lifted),
+	// so grouping and aggregate list are part of the plan identity.
+	if len(s.aggs) > 0 {
+		var b strings.Builder
+		b.WriteString(key)
+		b.WriteString("|groupby")
+		for _, a := range s.groupBy {
+			b.WriteByte(' ')
+			b.WriteString(string(a))
+		}
+		b.WriteString("|aggs")
+		for _, sp := range s.aggs {
+			b.WriteByte(' ')
+			b.WriteString(sp.Label())
+		}
+		key = b.String()
+	}
+	return key, vers, nil
 }
 
 // CacheStats returns the plan cache counters: Hits and Misses count Query

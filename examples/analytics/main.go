@@ -1,0 +1,149 @@
+// Analytics: OLAP-style aggregation straight on the factorised result.
+//
+// The walkthrough builds a many-to-many orders/stock/dispatch database,
+// then answers GROUP BY questions — order counts, oid sums, distinct items
+// per location — with fdb.QueryAgg and prepared aggregate statements. The
+// aggregates are computed in a single pass over the factorised
+// representation (counts multiply across products, sums cross-combine by
+// count-weighting), so the flat result, orders of magnitude larger, is
+// never enumerated. The final section times exactly that: the same
+// aggregate via Enumerate-then-fold versus the factorised pass.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	db := fdb.New()
+
+	const (
+		items     = 50
+		orders    = 4000
+		locations = 40
+		stock     = 1600 // (location, item) availability pairs
+		disps     = 600  // (dispatcher, location) pairs
+	)
+	db.MustCreate("Orders", "oid", "item")
+	for i := 0; i < orders; i++ {
+		db.MustInsert("Orders", i, rng.Intn(items))
+	}
+	db.MustCreate("Stock", "location", "item")
+	for i := 0; i < stock; i++ {
+		db.MustInsert("Stock", rng.Intn(locations), rng.Intn(items))
+	}
+	db.MustCreate("Disp", "dispatcher", "location")
+	for i := 0; i < disps; i++ {
+		db.MustInsert("Disp", i%120, rng.Intn(locations))
+	}
+
+	join := []fdb.Clause{
+		fdb.From("Orders", "Stock", "Disp"),
+		fdb.Eq("Orders.item", "Stock.item"),
+		fdb.Eq("Stock.location", "Disp.location"),
+	}
+
+	// How big is the result we are about to aggregate?
+	res, err := db.Query(join...)
+	must(err)
+	fmt.Println("orders ⋈ stock ⋈ dispatchers:")
+	fmt.Printf("  result tuples:         %d\n", res.Count())
+	fmt.Printf("  flat data elements:    %d\n", res.FlatSize())
+	fmt.Printf("  factorised singletons: %d\n", res.Size())
+
+	// Global aggregates: one row, no enumeration.
+	global, err := db.QueryAgg(append(join,
+		fdb.Agg(fdb.Count, ""),
+		fdb.Agg(fdb.Min, "Orders.oid"),
+		fdb.Agg(fdb.Max, "Orders.oid"),
+		fdb.Agg(fdb.CountDistinct, "Orders.item"))...)
+	must(err)
+	fmt.Println("\nglobal aggregates (single pass over the f-rep):")
+	fmt.Print(global.Table(0))
+
+	// GROUP BY location: the compiler lifts Stock.location above the
+	// aggregated attributes at Prepare time, so each group's subtree is
+	// aggregated independently in one linear pass.
+	perLoc, err := db.QueryAgg(append(join,
+		fdb.GroupBy("Stock.location"),
+		fdb.Agg(fdb.Count, ""),
+		fdb.Agg(fdb.Sum, "Orders.oid"),
+		fdb.Agg(fdb.CountDistinct, "Orders.item"))...)
+	must(err)
+	fmt.Println("\nper-location order volume (first 8 groups):")
+	fmt.Print(perLoc.Table(8))
+	fmt.Printf("  … %d groups total\n", perLoc.Len())
+
+	// Prepared aggregation: compile once, run per parameter binding.
+	st, err := db.Prepare(append(join,
+		fdb.Cmp("Stock.location", fdb.LT, fdb.Param("maxloc")),
+		fdb.GroupBy("Disp.dispatcher"),
+		fdb.Agg(fdb.Count, ""))...)
+	must(err)
+	for _, maxloc := range []int{10, 20} {
+		ar, err := st.ExecAgg(fdb.Arg("maxloc", maxloc))
+		must(err)
+		fmt.Printf("\ndispatcher workload, locations < %d: %d dispatchers, busiest %s\n",
+			maxloc, ar.Len(), busiest(ar))
+	}
+
+	// The point of it all: the same per-location count, factorised versus
+	// enumerate-then-fold over the flat result.
+	start := time.Now()
+	_, err = db.QueryAgg(append(join,
+		fdb.GroupBy("Stock.location"), fdb.Agg(fdb.Count, ""))...)
+	must(err)
+	factMS := float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	counts := map[string]int64{}
+	locCol := -1
+	for i, a := range res.Schema() {
+		if a == "Stock.location" {
+			locCol = i
+		}
+	}
+	res.Each(func(row []string) bool {
+		counts[row[locCol]]++
+		return true
+	})
+	foldMS := float64(time.Since(start).Microseconds()) / 1000
+	fmt.Printf("\nper-location count: factorised %.1f ms (incl. compile+build), enumerate-then-fold %.1f ms — %.0fx\n",
+		factMS, foldMS, foldMS/factMS)
+	fmt.Printf("(groups agree: %v)\n", agree(perLoc, counts))
+}
+
+// busiest returns the group key with the highest count.
+func busiest(ar *fdb.AggResult) string {
+	best, bestV := "", int64(-1)
+	for i := 0; i < ar.Len(); i++ {
+		if v := ar.Value(i, 0); v > bestV {
+			best, bestV = ar.Key(i)[0], v
+		}
+	}
+	return best
+}
+
+// agree cross-checks the factorised counts against the folded ones.
+func agree(ar *fdb.AggResult, counts map[string]int64) bool {
+	if ar.Len() != len(counts) {
+		return false
+	}
+	for i := 0; i < ar.Len(); i++ {
+		if counts[ar.Key(i)[0]] != ar.Value(i, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

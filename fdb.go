@@ -38,6 +38,23 @@
 //	fmt.Println(res.Size(), res.Count()) // singletons vs tuples
 //	res2, err := res.Where(fdb.Eq("Orders.item", "Produce.item")) // on factorised data
 //
+// Aggregates (COUNT, SUM, MIN, MAX, COUNT DISTINCT — optionally grouped)
+// are computed in a single pass over the factorised representation, in
+// time proportional to its factorised size, never by enumerating the flat
+// result:
+//
+//	ar, err := db.QueryAgg(
+//		fdb.From("Orders", "Store", "Disp"),
+//		fdb.Eq("Orders.item", "Store.item"),
+//		fdb.Eq("Store.location", "Disp.location"),
+//		fdb.GroupBy("Store.location"),
+//		fdb.Agg(fdb.Count, ""), fdb.Agg(fdb.Sum, "Orders.oid"))
+//	v, err := ar.Int(0, "count") // one row per group, sorted by key
+//
+// Grouped statements restructure their f-tree at compile time so group-by
+// attributes sit above aggregated ones; Prepare + ExecAgg reuse the
+// restructured plan per binding.
+//
 // Relations are presented at the logical layer, but results (and, when
 // desired, inputs of follow-up queries) are stored as factorised
 // representations: algebraic expressions over singletons, union and product

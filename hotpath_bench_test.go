@@ -1,0 +1,125 @@
+package fdb_test
+
+// Tracked hot paths for the CI benchmark-regression gate (see
+// cmd/benchcmp and .github/workflows/ci.yml): build, exec and aggregate.
+// BenchmarkCalibrate pins a fixed CPU-bound workload whose time depends
+// only on the machine; benchcmp divides every tracked result by it, so the
+// committed BENCH_baseline.json stays portable across hardware.
+
+import (
+	"math/rand"
+	"testing"
+
+	fdb "repro"
+	"repro/internal/bench"
+	"repro/internal/frep"
+	"repro/internal/relation"
+)
+
+var benchSink int64
+
+// BenchmarkCalibrate is the normalisation yardstick: a fixed integer loop,
+// no allocation, no data dependence. It is excluded from regression
+// tracking itself.
+func BenchmarkCalibrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s int64
+		for j := int64(0); j < 30_000_000; j++ {
+			s += j*j ^ (j >> 3)
+		}
+		benchSink = s
+	}
+}
+
+func retailerAggSetup(b *testing.B) (*frep.FRep, []relation.Attribute, []frep.AggSpec) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	q := bench.RetailerQuery(rng, 2)
+	groupBy := []relation.Attribute{"s_location"}
+	fr, err := bench.BuildRep(q, groupBy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := []frep.AggSpec{
+		{Fn: frep.AggCount},
+		{Fn: frep.AggSum, Attr: "o_oid"},
+		{Fn: frep.AggCountDistinct, Attr: "o_item"},
+	}
+	return fr, groupBy, specs
+}
+
+// BenchmarkBuildRetailer tracks the factorisation build: f-tree search,
+// group lift and representation construction on the retailer workload.
+func BenchmarkBuildRetailer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := bench.RetailerQuery(rng, 2)
+	groupBy := []relation.Attribute{"s_location"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := bench.BuildRep(q, groupBy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = int64(len(fr.Roots))
+	}
+}
+
+// BenchmarkExecPrepared tracks Stmt.Exec: per-execution parameter binding,
+// filtering and build on pre-sorted snapshots.
+func BenchmarkExecPrepared(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	db := fdb.New()
+	db.MustCreate("Orders", "oid", "item")
+	for i := 0; i < 1000; i++ {
+		db.MustInsert("Orders", i, rng.Intn(50))
+	}
+	db.MustCreate("Stock", "location", "item")
+	for i := 0; i < 400; i++ {
+		db.MustInsert("Stock", rng.Intn(40), rng.Intn(50))
+	}
+	db.MustCreate("Disp", "dispatcher", "location")
+	for i := 0; i < 200; i++ {
+		db.MustInsert("Disp", i%120, rng.Intn(40))
+	}
+	st, err := db.Prepare(
+		fdb.From("Orders", "Stock", "Disp"),
+		fdb.Eq("Orders.item", "Stock.item"),
+		fdb.Eq("Stock.location", "Disp.location"),
+		fdb.Cmp("Stock.location", fdb.LT, fdb.Param("n")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Exec(fdb.Arg("n", 20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res.Count()
+	}
+}
+
+// BenchmarkAggregateFactorised tracks the single-pass aggregation over the
+// factorised representation (the Experiment 6 fast path).
+func BenchmarkAggregateFactorised(b *testing.B) {
+	fr, groupBy, specs := retailerAggSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := fr.Aggregate(groupBy, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = int64(len(rows))
+	}
+}
+
+// BenchmarkAggregateEnumFold tracks the enumerate-then-fold baseline over
+// the same representation, for the Experiment 6 comparison.
+func BenchmarkAggregateEnumFold(b *testing.B) {
+	fr, groupBy, specs := retailerAggSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := bench.FoldAggregate(fr, groupBy, specs)
+		benchSink = int64(len(rows))
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Experiment 6 carries its own factorised-vs-fold equality check; running
+// one small point per workload keeps the harness honest.
+func TestExperiment6Agree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	row, err := Experiment6Retailer(rng, Exp6Config{Scale: 1, MaxFold: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.FoldSkipped || row.Groups == 0 {
+		t.Fatalf("retailer point degenerate: %+v", row)
+	}
+	crow, err := Experiment6Chain(rng, Exp6Config{Scale: 3, MaxFold: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crow.FoldSkipped || crow.Groups == 0 {
+		t.Fatalf("chain point degenerate: %+v", crow)
+	}
+}
+
+// The fold cap must kick in rather than enumerate forever.
+func TestExperiment6FoldCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	row, err := Experiment6Chain(rng, Exp6Config{Scale: 6, MaxFold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.FoldSkipped {
+		t.Fatalf("fold should have been skipped at %d tuples: %+v", row.Tuples, row)
+	}
+	if row.FactMS < 0 || row.Groups == 0 {
+		t.Fatalf("factorised leg missing: %+v", row)
+	}
+}

@@ -1,0 +1,182 @@
+// Package benchcmp records `go test -bench` results as JSON and compares a
+// current run against a committed baseline — the benchmark-regression gate
+// of the CI pipeline.
+//
+// Raw nanoseconds are not portable across machines, so every run also
+// carries the time of BenchmarkCalibrate, a fixed CPU-bound loop. Compare
+// divides each benchmark by its run's calibration time and compares the
+// normalised ratios, making a baseline recorded on one machine meaningful
+// on another. The gate fails when a tracked benchmark is more than the
+// threshold slower (normalised), or disappears from the current run.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CalibrationName identifies the normalisation benchmark in bench output.
+const CalibrationName = "Calibrate"
+
+// Result is one recorded benchmark run.
+type Result struct {
+	// CalibrationNS is the ns/op of BenchmarkCalibrate in this run (0 when
+	// the run had none; comparisons then fall back to raw nanoseconds).
+	CalibrationNS float64 `json:"calibration_ns"`
+	// Benchmarks maps benchmark name (CPU suffix stripped) to the minimum
+	// ns/op observed across repetitions.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// ParseGoBench parses `go test -bench` text output. Repeated benchmarks
+// (-count > 1, or concatenated runs) keep their minimum ns/op — the least
+// noisy estimate of the true cost.
+func ParseGoBench(r io.Reader) (*Result, error) {
+	res := &Result{Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if strings.Contains(name, CalibrationName) {
+			if res.CalibrationNS == 0 || ns < res.CalibrationNS {
+				res.CalibrationNS = ns
+			}
+			continue
+		}
+		if old, ok := res.Benchmarks[name]; !ok || ns < old {
+			res.Benchmarks[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(res.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmark lines found")
+	}
+	return res, nil
+}
+
+// WriteFile records the result as JSON.
+func (r *Result) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a recorded result.
+func ReadFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if err := json.Unmarshal(data, res); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %v", path, err)
+	}
+	if res.Benchmarks == nil {
+		res.Benchmarks = map[string]float64{}
+	}
+	return res, nil
+}
+
+// Delta is the comparison of one benchmark between baseline and current.
+type Delta struct {
+	Name       string
+	BaseNS     float64
+	CurNS      float64
+	Ratio      float64 // normalised cur/base; > 1 means slower
+	Tracked    bool
+	Regression bool
+}
+
+// Comparison is the full gate verdict.
+type Comparison struct {
+	Deltas  []Delta
+	Missing []string // tracked baseline benchmarks absent from the current run
+}
+
+// Failed reports whether the gate should fail the build.
+func (c *Comparison) Failed() bool {
+	if len(c.Missing) > 0 {
+		return true
+	}
+	for _, d := range c.Deltas {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare evaluates the current run against the baseline. Benchmarks whose
+// name matches tracked fail the gate when their normalised time grew by
+// more than threshold (0.25 = 25%); everything else is informational.
+func Compare(base, cur *Result, tracked *regexp.Regexp, threshold float64) *Comparison {
+	norm := func(r *Result, ns float64) float64 {
+		if base.CalibrationNS > 0 && cur.CalibrationNS > 0 {
+			return ns / r.CalibrationNS
+		}
+		return ns
+	}
+	out := &Comparison{}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		baseNS := base.Benchmarks[name]
+		isTracked := tracked.MatchString(name)
+		curNS, ok := cur.Benchmarks[name]
+		if !ok {
+			if isTracked {
+				out.Missing = append(out.Missing, name)
+			}
+			continue
+		}
+		d := Delta{Name: name, BaseNS: baseNS, CurNS: curNS, Tracked: isTracked}
+		if baseNS > 0 {
+			d.Ratio = norm(cur, curNS) / norm(base, baseNS)
+		}
+		d.Regression = isTracked && d.Ratio > 1+threshold
+		out.Deltas = append(out.Deltas, d)
+	}
+	return out
+}
+
+// Report renders the comparison as a table.
+func (c *Comparison) Report(w io.Writer) {
+	fmt.Fprintf(w, "%-40s %12s %12s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "ratio", "verdict")
+	for _, d := range c.Deltas {
+		verdict := ""
+		switch {
+		case d.Regression:
+			verdict = "REGRESSION"
+		case d.Tracked:
+			verdict = "ok (tracked)"
+		}
+		fmt.Fprintf(w, "%-40s %12.0f %12.0f %8.2f  %s\n", d.Name, d.BaseNS, d.CurNS, d.Ratio, verdict)
+	}
+	for _, name := range c.Missing {
+		fmt.Fprintf(w, "%-40s %12s %12s %8s  MISSING (tracked benchmark not in current run)\n", name, "-", "-", "-")
+	}
+}

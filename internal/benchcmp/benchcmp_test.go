@@ -1,0 +1,145 @@
+package benchcmp
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkCalibrate-8         	     100	  12000000 ns/op
+BenchmarkBuildRetailer-8     	      50	  20000000 ns/op
+BenchmarkExecPrepared-8      	     200	   5000000 ns/op
+BenchmarkAggregateFactorised-8	    300	   3000000 ns/op
+BenchmarkExp1OptimiseFlat-8  	      10	 100000000 ns/op
+PASS
+ok  	repro	2.948s
+`
+
+func parse(t *testing.T, s string) *Result {
+	t.Helper()
+	res, err := ParseGoBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseGoBench(t *testing.T) {
+	res := parse(t, sampleOutput)
+	if res.CalibrationNS != 12000000 {
+		t.Fatalf("calibration: got %v", res.CalibrationNS)
+	}
+	if len(res.Benchmarks) != 4 {
+		t.Fatalf("benchmarks: got %v", res.Benchmarks)
+	}
+	if res.Benchmarks["BenchmarkBuildRetailer"] != 20000000 {
+		t.Fatalf("build: got %v", res.Benchmarks["BenchmarkBuildRetailer"])
+	}
+}
+
+// Repetitions (or concatenated runs) keep the minimum.
+func TestParseKeepsMinimum(t *testing.T) {
+	res := parse(t, sampleOutput+"BenchmarkBuildRetailer-8 60 15000000 ns/op\nBenchmarkCalibrate-8 100 11000000 ns/op\n")
+	if res.Benchmarks["BenchmarkBuildRetailer"] != 15000000 {
+		t.Fatalf("min not kept: %v", res.Benchmarks["BenchmarkBuildRetailer"])
+	}
+	if res.CalibrationNS != 11000000 {
+		t.Fatalf("calibration min not kept: %v", res.CalibrationNS)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want error on output without benchmarks")
+	}
+}
+
+var tracked = regexp.MustCompile(`Build|Exec|Aggregate`)
+
+func TestCompareNoRegression(t *testing.T) {
+	base := parse(t, sampleOutput)
+	cur := parse(t, sampleOutput)
+	c := Compare(base, cur, tracked, 0.25)
+	if c.Failed() {
+		t.Fatalf("identical runs must pass:\n%+v", c)
+	}
+}
+
+// A machine twice as slow overall (calibration doubles too) is not a
+// regression: ratios are normalised.
+func TestCompareNormalisesByCalibration(t *testing.T) {
+	base := parse(t, sampleOutput)
+	slow := strings.NewReplacer(
+		"12000000", "24000000",
+		"20000000", "40000000",
+		"5000000 ns/op", "10000000 ns/op",
+		"3000000 ns/op", "6000000 ns/op",
+	).Replace(sampleOutput)
+	c := Compare(base, parse(t, slow), tracked, 0.25)
+	if c.Failed() {
+		t.Fatalf("uniformly slower machine must pass:\n%+v", c)
+	}
+}
+
+// A tracked benchmark 2x slower with unchanged calibration fails the gate.
+func TestCompareDetectsRegression(t *testing.T) {
+	base := parse(t, sampleOutput)
+	reg := strings.Replace(sampleOutput, "3000000 ns/op", "6000000 ns/op", 1)
+	c := Compare(base, parse(t, reg), tracked, 0.25)
+	if !c.Failed() {
+		t.Fatal("2x slower tracked benchmark must fail")
+	}
+	found := false
+	for _, d := range c.Deltas {
+		if d.Name == "BenchmarkAggregateFactorised" && d.Regression {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regression not attributed:\n%+v", c.Deltas)
+	}
+}
+
+// An untracked benchmark may regress freely.
+func TestCompareIgnoresUntracked(t *testing.T) {
+	base := parse(t, sampleOutput)
+	reg := strings.Replace(sampleOutput, "100000000", "900000000", 1)
+	c := Compare(base, parse(t, reg), tracked, 0.25)
+	if c.Failed() {
+		t.Fatalf("untracked regression must pass:\n%+v", c)
+	}
+}
+
+// A tracked baseline benchmark missing from the current run fails.
+func TestCompareMissingTracked(t *testing.T) {
+	base := parse(t, sampleOutput)
+	cur := parse(t, strings.Replace(sampleOutput,
+		"BenchmarkAggregateFactorised-8	    300	   3000000 ns/op\n", "", 1))
+	c := Compare(base, cur, tracked, 0.25)
+	if !c.Failed() || len(c.Missing) != 1 {
+		t.Fatalf("missing tracked benchmark must fail: %+v", c)
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	res := parse(t, sampleOutput)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CalibrationNS != res.CalibrationNS || len(back.Benchmarks) != len(res.Benchmarks) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, res)
+	}
+	c := Compare(res, back, tracked, 0.25)
+	if c.Failed() {
+		t.Fatalf("round trip must compare clean:\n%+v", c)
+	}
+}

@@ -79,7 +79,7 @@ func ReadFile(path string, dict *relation.Dict) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	rel, err := Read(f, dict)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
@@ -128,7 +128,7 @@ func WriteFile(path string, rel *relation.Relation, dict *relation.Dict) error {
 		return err
 	}
 	if err := Write(f, rel, dict); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

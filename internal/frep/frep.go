@@ -127,7 +127,7 @@ func (f *FRep) Count() int64 {
 	}
 	total := int64(1)
 	for i, u := range f.Roots {
-		total = satMul(total, f.count(u, f.Tree.Roots[i]))
+		total = satMul(total, countUnion(u, f.Tree.Roots[i]))
 	}
 	return total
 }
@@ -151,12 +151,14 @@ func satAdd(a, b int64) int64 {
 	return a + b
 }
 
-func (f *FRep) count(u *Union, n *ftree.Node) int64 {
+// countUnion counts the tuples represented by one union (also the
+// count-only fast path of the aggregation evaluator).
+func countUnion(u *Union, n *ftree.Node) int64 {
 	var total int64
 	for _, e := range u.Entries {
 		prod := int64(1)
 		for j, c := range e.Children {
-			prod = satMul(prod, f.count(c, n.Children[j]))
+			prod = satMul(prod, countUnion(c, n.Children[j]))
 		}
 		total = satAdd(total, prod)
 	}

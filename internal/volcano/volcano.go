@@ -350,7 +350,7 @@ func Evaluate(q *core.Query, opts Options) (*Result, error) {
 	if err := cur.Open(); err != nil {
 		return nil, err
 	}
-	defer cur.Close()
+	defer func() { _ = cur.Close() }()
 	for {
 		_, ok, err := cur.Next()
 		if err != nil {

@@ -3,6 +3,7 @@ package fdb
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/fplan"
@@ -29,10 +30,9 @@ func (r *Result) Count() int64 { return r.rep.Count() }
 func (r *Result) Empty() bool { return r.rep.IsEmpty() }
 
 // FlatSize returns Count() times the number of visible attributes: the
-// number of data elements a flat representation would hold.
-func (r *Result) FlatSize() int64 {
-	return r.rep.Count() * int64(len(r.rep.Schema()))
-}
+// number of data elements a flat representation would hold. Like Count it
+// saturates at math.MaxInt64 instead of overflowing.
+func (r *Result) FlatSize() int64 { return r.rep.FlatSize() }
 
 // Schema lists the result attributes in enumeration order.
 func (r *Result) Schema() []string {
@@ -188,4 +188,110 @@ func (r *Result) SortedSchema() []string {
 	s := r.Schema()
 	sort.Strings(s)
 	return s
+}
+
+// AggResult is the result of an aggregation query (QueryAgg or
+// Stmt.ExecAgg): one row per group, sorted by group key, with
+// dictionary-decoded key accessors and typed aggregate values. A global
+// aggregate (no GroupBy) has one row with an empty key — or zero rows if
+// the query result is empty.
+type AggResult struct {
+	db      *DB
+	groupBy []relation.Attribute
+	specs   []frep.AggSpec
+	rows    []frep.AggRow
+}
+
+// Len returns the number of groups.
+func (r *AggResult) Len() int { return len(r.rows) }
+
+// Schema lists the output columns: the group-by attributes followed by one
+// label per aggregate ("count", "sum(Orders.qty)", …).
+func (r *AggResult) Schema() []string {
+	out := make([]string, 0, len(r.groupBy)+len(r.specs))
+	for _, a := range r.groupBy {
+		out = append(out, string(a))
+	}
+	for _, s := range r.specs {
+		out = append(out, s.Label())
+	}
+	return out
+}
+
+// Key returns row i's group key, dictionary-decoded (empty for a global
+// aggregate).
+func (r *AggResult) Key(i int) []string {
+	out := make([]string, len(r.rows[i].Key))
+	for j, v := range r.rows[i].Key {
+		out[j] = r.db.dict.Decode(v)
+	}
+	return out
+}
+
+// Value returns row i's value for the j-th Agg clause.
+func (r *AggResult) Value(i, j int) int64 { return r.rows[i].Vals[j] }
+
+// Int returns row i's value for the aggregate with the given label (as in
+// Schema(), e.g. "count" or "min(Store.location)").
+func (r *AggResult) Int(i int, label string) (int64, error) {
+	for j, s := range r.specs {
+		if s.Label() == label {
+			return r.rows[i].Vals[j], nil
+		}
+	}
+	return 0, fmt.Errorf("fdb: no aggregate %q in result (have %v)", label, r.Schema()[len(r.groupBy):])
+}
+
+// Group returns the row index of the given decoded group key, or -1.
+// (Comparison is on decoded strings, so looking up an unknown key never
+// grows the dictionary.)
+func (r *AggResult) Group(key ...string) int {
+	for i := range r.rows {
+		k := r.Key(i)
+		if len(k) != len(key) {
+			continue
+		}
+		match := true
+		for j := range key {
+			if k[j] != key[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rows materialises up to limit rows (limit <= 0: all) as decoded strings:
+// group keys followed by aggregate values.
+func (r *AggResult) Rows(limit int) [][]string {
+	n := len(r.rows)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(r.groupBy)+len(r.specs))
+		row = append(row, r.Key(i)...)
+		for _, v := range r.rows[i].Vals {
+			row = append(row, strconv.FormatInt(v, 10))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table renders the result (up to limit rows) as a tab-separated table.
+func (r *AggResult) Table(limit int) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Schema(), "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Rows(limit) {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

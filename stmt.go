@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fbuild"
 	"repro/internal/fplan"
+	"repro/internal/frep"
 	"repro/internal/ftree"
 	"repro/internal/opt"
 	"repro/internal/relation"
@@ -28,6 +29,8 @@ type Stmt struct {
 	psels   []paramSel           // parameterised selections, bound at Exec
 	params  []string             // distinct parameter names, declaration order
 	project []relation.Attribute // nil: keep all attributes
+	groupBy []relation.Attribute // aggregation statements: group-by attributes
+	aggs    []frep.AggSpec       // aggregation statements: aggregates to compute
 	cost    float64              // s(T) of the optimal f-tree
 }
 
@@ -113,6 +116,35 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if len(s.groupBy) > 0 && len(s.aggs) == 0 {
+		return nil, fmt.Errorf("fdb: GroupBy needs at least one Agg clause")
+	}
+	if len(s.aggs) > 0 {
+		if s.project != nil {
+			return nil, fmt.Errorf("fdb: Project cannot be combined with aggregates (GroupBy defines the output columns)")
+		}
+		all := relation.AttrSet{}
+		for _, r := range rels {
+			for _, a := range r.Schema {
+				all.Add(a)
+			}
+		}
+		seen := relation.AttrSet{}
+		for _, a := range s.groupBy {
+			if seen.Has(a) {
+				return nil, fmt.Errorf("fdb: duplicate group-by attribute %q", a)
+			}
+			seen.Add(a)
+			if !all.Has(a) {
+				return nil, fmt.Errorf("fdb: group-by attribute %q not in any input relation", a)
+			}
+		}
+		for _, sp := range s.aggs {
+			if sp.Fn != frep.AggCount && !all.Has(sp.Attr) {
+				return nil, fmt.Errorf("fdb: aggregate attribute %q not in any input relation", sp.Attr)
+			}
+		}
+	}
 	// Constant selections are cheapest first (Section 4): filter inputs.
 	for i, r := range q.Relations {
 		var mine []core.ConstSel
@@ -140,6 +172,16 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Grouped aggregation: restructure the optimal tree once, at compile
+	// time, so the group-by attributes label nodes above every aggregated
+	// one. Exec-time builds then produce the lifted layout directly and the
+	// aggregation pass is linear in the representation size — no data
+	// movement per Exec.
+	if len(s.groupBy) > 0 {
+		if err := (fplan.Lift{Attrs: s.groupBy}).ApplyTree(tr); err != nil {
+			return nil, err
+		}
+	}
 	// Sort every snapshot in its f-tree path order once; Exec-time builds
 	// then see pre-sorted inputs and never mutate the shared snapshots.
 	if err := fbuild.SortFor(q.Relations, tr); err != nil {
@@ -152,12 +194,25 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 		psels:   psels,
 		params:  params,
 		project: s.project,
+		groupBy: s.groupBy,
+		aggs:    s.aggs,
 		cost:    cost,
 	}, nil
 }
 
 // Params lists the statement's parameter names in declaration order.
 func (st *Stmt) Params() []string { return append([]string(nil), st.params...) }
+
+// Aggregates lists the statement's aggregate column labels in declaration
+// order; empty for a plain select-project-join statement. Statements with
+// aggregates run through ExecAgg, all others through Exec.
+func (st *Stmt) Aggregates() []string {
+	out := make([]string, len(st.aggs))
+	for i, s := range st.aggs {
+		out[i] = s.Label()
+	}
+	return out
+}
 
 // Cost returns the cost s(T) of the statement's optimal f-tree.
 func (st *Stmt) Cost() float64 { return st.cost }
@@ -167,6 +222,7 @@ func (st *Stmt) FTree() string { return st.tree.String() }
 
 // Exec runs the compiled statement with the given parameter bindings and
 // returns a fresh factorised result. Safe for concurrent callers.
+// Statements with Agg clauses must use ExecAgg instead.
 func (st *Stmt) Exec(args ...NamedArg) (*Result, error) {
 	return st.ExecContext(context.Background(), args...)
 }
@@ -174,6 +230,45 @@ func (st *Stmt) Exec(args ...NamedArg) (*Result, error) {
 // ExecContext is Exec with cancellation: the factorisation build and the
 // baked projection observe ctx and abort with its error.
 func (st *Stmt) ExecContext(ctx context.Context, args ...NamedArg) (*Result, error) {
+	if len(st.aggs) > 0 {
+		return nil, fmt.Errorf("fdb: statement computes aggregates; use ExecAgg")
+	}
+	fr, err := st.buildContext(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{db: st.db, rep: fr}, nil
+}
+
+// ExecAgg runs a compiled aggregation statement (one with Agg clauses,
+// optionally GroupBy) and returns its aggregate rows. The aggregates are
+// computed in one pass over the factorised result, in time proportional to
+// its factorised size — the flat relation is never enumerated. Safe for
+// concurrent callers.
+func (st *Stmt) ExecAgg(args ...NamedArg) (*AggResult, error) {
+	return st.ExecAggContext(context.Background(), args...)
+}
+
+// ExecAggContext is ExecAgg with cancellation.
+func (st *Stmt) ExecAggContext(ctx context.Context, args ...NamedArg) (*AggResult, error) {
+	if len(st.aggs) == 0 {
+		return nil, fmt.Errorf("fdb: statement has no aggregates; use Exec")
+	}
+	fr, err := st.buildContext(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := fr.Aggregate(st.groupBy, st.aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &AggResult{db: st.db, groupBy: st.groupBy, specs: st.aggs, rows: rows}, nil
+}
+
+// buildContext binds parameters and builds the statement's factorised
+// result: the shared evaluation path behind ExecContext and
+// ExecAggContext.
+func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.FRep, error) {
 	bound := make(map[string]relation.Value, len(args))
 	for _, a := range args {
 		known := false
@@ -238,5 +333,5 @@ func (st *Stmt) ExecContext(ctx context.Context, args ...NamedArg) (*Result, err
 			return nil, err
 		}
 	}
-	return &Result{db: st.db, rep: fr}, nil
+	return fr, nil
 }
