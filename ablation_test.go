@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fbuild"
+	"repro/internal/frep"
 	"repro/internal/gen"
 	"repro/internal/opt"
 	"repro/internal/relation"
@@ -24,6 +25,7 @@ import (
 func BenchmarkAblationCostModel(b *testing.B) {
 	for _, model := range []string{"sT", "estimate"} {
 		b.Run(model, func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(9))
 			var finalS float64
 			n := 0
@@ -78,32 +80,54 @@ func BenchmarkAblationCostModel(b *testing.B) {
 
 // BenchmarkEnumerationDelay checks the constant-delay enumeration claim:
 // per-tuple enumeration cost from a factorised result must stay flat as the
-// result grows (Section 2: O(|S|) delay between successive tuples).
+// result grows (Section 2: O(|S|) delay between successive tuples). The
+// encoded variant walks the arena-backed columns through the pull iterator
+// and allocates nothing per tuple; the pointer variant is the legacy form.
 func BenchmarkEnumerationDelay(b *testing.B) {
 	for _, n := range []int{100, 400, 1600} {
+		rng := rand.New(rand.NewSource(10))
+		q, err := gen.RandomQuery(rng, 3, 9, n, 2, gen.Uniform, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, _, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels := make([]*relation.Relation, len(q.Relations))
+		for i, r := range q.Relations {
+			rels[i] = r.Clone()
+		}
+		fr, err := fbuild.Build(rels, tr.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := fbuild.BuildEnc(rels, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Count() == 0 {
+			continue
+		}
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
-			rng := rand.New(rand.NewSource(10))
-			q, err := gen.RandomQuery(rng, 3, 9, n, 2, gen.Uniform, 40)
-			if err != nil {
-				b.Fatal(err)
+			b.ReportAllocs()
+			var tuples int64
+			for i := 0; i < b.N; i++ {
+				it := frep.NewEncIterator(enc)
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+					tuples++
+				}
 			}
-			tr, _, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
-			if err != nil {
-				b.Fatal(err)
+			b.StopTimer()
+			if tuples > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(tuples), "ns/tuple")
 			}
-			rels := make([]*relation.Relation, len(q.Relations))
-			for i, r := range q.Relations {
-				rels[i] = r.Clone()
-			}
-			fr, err := fbuild.Build(rels, tr)
-			if err != nil {
-				b.Fatal(err)
-			}
-			total := fr.Count()
-			if total == 0 {
-				b.Skip("empty result")
-			}
-			b.ResetTimer()
+		})
+		b.Run(fmt.Sprintf("pointer/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var tuples int64
 			for i := 0; i < b.N; i++ {
 				fr.Enumerate(func(relation.Tuple) bool {
@@ -124,6 +148,7 @@ func BenchmarkEnumerationDelay(b *testing.B) {
 func BenchmarkAblationOptimiser(b *testing.B) {
 	for _, engine := range []string{"exhaustive", "greedy"} {
 		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(11))
 			for i := 0; i < b.N; i++ {
 				sch, err := gen.RandomSchema(rng, 4, 10)

@@ -31,6 +31,7 @@ func BenchmarkExp1OptimiseFlat(b *testing.B) {
 	for _, r := range []int{2, 4, 8} {
 		for _, k := range []int{1, 3, 6} {
 			b.Run(fmt.Sprintf("R=%d/K=%d", r, k), func(b *testing.B) {
+				b.ReportAllocs()
 				rng := rand.New(rand.NewSource(1))
 				var lastS float64
 				for i := 0; i < b.N; i++ {
@@ -64,6 +65,7 @@ func BenchmarkExp1OptimiseFlat(b *testing.B) {
 func BenchmarkExp2PlanQuality(b *testing.B) {
 	for _, kl := range [][2]int{{1, 1}, {2, 2}, {4, 2}, {2, 4}} {
 		b.Run(fmt.Sprintf("K=%d/L=%d", kl[0], kl[1]), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(2))
 			var rows []bench.Exp2Row
 			for i := 0; i < b.N; i++ {
@@ -84,6 +86,7 @@ func BenchmarkExp2OptimiserTime(b *testing.B) {
 	for _, engine := range []string{"full", "greedy"} {
 		for _, kl := range [][2]int{{2, 1}, {2, 3}} {
 			b.Run(fmt.Sprintf("%s/K=%d/L=%d", engine, kl[0], kl[1]), func(b *testing.B) {
+				b.ReportAllocs()
 				rng := rand.New(rand.NewSource(3))
 				for i := 0; i < b.N; i++ {
 					rows := bench.Experiment2(rng, 4, 10, []int{kl[0]}, []int{kl[1]}, 1)
@@ -102,6 +105,7 @@ func BenchmarkExp3FlatEval(b *testing.B) {
 		for _, n := range []int{300, 1000} {
 			for _, k := range []int{2, 3, 4} {
 				b.Run(fmt.Sprintf("%s/N=%d/K=%d", dist, n, k), func(b *testing.B) {
+					b.ReportAllocs()
 					rng := rand.New(rand.NewSource(4))
 					var row bench.Exp3Row
 					var err error
@@ -131,6 +135,7 @@ func BenchmarkExp3FlatEval(b *testing.B) {
 func BenchmarkExp3Combinatorial(b *testing.B) {
 	for _, k := range []int{1, 2, 4, 6} {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(5))
 			var row bench.Exp3Row
 			for i := 0; i < b.N; i++ {
@@ -157,6 +162,7 @@ func BenchmarkExp3Combinatorial(b *testing.B) {
 func BenchmarkExp4FactorisedEval(b *testing.B) {
 	for _, kl := range [][2]int{{2, 1}, {2, 2}, {4, 1}} {
 		b.Run(fmt.Sprintf("K=%d/L=%d", kl[0], kl[1]), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(6))
 			var row bench.Exp4Row
 			var err error
@@ -179,6 +185,7 @@ func BenchmarkExp4FactorisedEval(b *testing.B) {
 
 // BenchmarkGroceryPipeline exercises the running example end to end.
 func BenchmarkGroceryPipeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := bench.GrocerySmoke(); err != nil {
 			b.Fatal(err)
@@ -190,6 +197,7 @@ func BenchmarkGroceryPipeline(b *testing.B) {
 // win: stmt.Exec with a bound parameter vs an equivalent cold db.Query that
 // re-compiles (validation, input dedup, f-tree search, sorting) per call.
 func BenchmarkExp5PreparedVsAdhoc(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(8))
 	cfg := bench.Exp5Config{Orders: 2000, Stock: 800, Disps: 300, Items: 50, Locations: 40, Execs: 50}
 	var row bench.Exp5Row

@@ -5,11 +5,14 @@
 //
 // Record parses `go test -bench` output from stdin (concatenate several
 // runs to keep per-benchmark minima) into a JSON file that also carries
-// the BenchmarkCalibrate time of the run. Compare normalises both sides by
-// their calibration time — so a baseline recorded on one machine gates
+// the BenchmarkCalibrate time of the run and the allocs/op of every
+// benchmark run with b.ReportAllocs. Compare normalises times by the
+// calibration of each side — so a baseline recorded on one machine gates
 // runs on another — and exits non-zero when a tracked benchmark (default:
-// the build/exec/aggregate hot paths) got more than -threshold slower, or
-// vanished from the current run.
+// the build/exec/aggregate hot paths) got more than -threshold slower,
+// allocated more than -alloc-threshold extra per op (allocation counts are
+// machine-portable, so no normalisation), or vanished from the current
+// run.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to compare against")
 	current := flag.String("current", "", "current-run JSON to compare")
 	threshold := flag.Float64("threshold", 0.25, "allowed slowdown of tracked benchmarks (0.25 = 25%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "allowed allocs/op growth of tracked benchmarks (0.25 = 25%)")
 	tracked := flag.String("tracked", "Build|Exec|Aggregate", "regexp of benchmark names gated for regression")
 	flag.Parse()
 
@@ -53,16 +57,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cmp := benchcmp.Compare(base, cur, re, *threshold)
+		cmp := benchcmp.Compare(base, cur, re, *threshold, *allocThreshold)
 		cmp.Report(os.Stdout)
 		if cmp.Failed() {
-			fmt.Printf("FAIL: tracked hot path regressed beyond %.0f%% (normalised)\n", *threshold*100)
+			fmt.Printf("FAIL: tracked hot path regressed beyond %.0f%% time (normalised) or %.0f%% allocs/op\n",
+				*threshold*100, *allocThreshold*100)
 			os.Exit(1)
 		}
 		fmt.Println("benchmark gate passed")
 	default:
 		fmt.Fprintln(os.Stderr, "usage: benchcmp -record out.json < bench.txt")
-		fmt.Fprintln(os.Stderr, "       benchcmp -baseline base.json -current cur.json [-threshold 0.25] [-tracked RE]")
+		fmt.Fprintln(os.Stderr, "       benchcmp -baseline base.json -current cur.json [-threshold 0.25] [-alloc-threshold 0.25] [-tracked RE]")
 		os.Exit(2)
 	}
 }

@@ -1,5 +1,5 @@
 // Command fdbench regenerates the data series of every figure in the
-// paper's evaluation (Section 5). Usage:
+// paper's evaluation (Section 5), plus the engine's own experiments. Usage:
 //
 //	fdbench -exp 1            # Figure 5:   f-tree optimisation on flat data
 //	fdbench -exp 2            # Figures 6+9: full-search vs greedy optimiser
@@ -8,6 +8,7 @@
 //	fdbench -exp 4            # Figure 8:   evaluation on factorised data
 //	fdbench -exp 5            # prepared statements vs ad-hoc queries
 //	fdbench -exp 6            # factorised aggregation vs enumerate-then-fold
+//	fdbench -exp 7            # arena-backed columnar encoding vs pointer form
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-4; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-7; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -42,6 +43,7 @@ func main() {
 		exp4(*seed, *runs, *timeout)
 		exp5(*seed, *runs)
 		exp6(*seed, *runs)
+		exp7(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -54,8 +56,10 @@ func main() {
 		exp5(*seed, *runs)
 	case 6:
 		exp6(*seed, *runs)
+	case 7:
+		exp7(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..6")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..7")
 		os.Exit(2)
 	}
 }
@@ -191,6 +195,50 @@ func exp6(seed int64, runs int) {
 	}
 	for _, length := range []int{2, 4, 6, 8} {
 		run("chain", length, bench.Experiment6Chain)
+	}
+}
+
+func exp7(seed int64, runs int) {
+	fmt.Println("# Experiment 7: arena-backed columnar encoding vs pointer representation (same inputs, same f-tree)")
+	fmt.Println("# workload scale frep_size flat_tuples enumerated build_ptr_ms build_enc_ms build_x enum_ptr_ms enum_enc_ms enum_x agg_ptr_ms agg_enc_ms agg_x")
+	rng := rand.New(rand.NewSource(seed))
+	for _, scale := range []int{1, 2, 4, 8} {
+		var acc bench.Exp7Row
+		n := 0
+		for i := 0; i < runs; i++ {
+			row, err := bench.Experiment7Encoding(rng, bench.Exp7Config{Scale: scale, MaxEnum: 5_000_000})
+			if err != nil {
+				// The experiment doubles as the encoded-vs-pointer parity
+				// check CI runs; its failure must fail the process.
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				os.Exit(1)
+			}
+			acc.FRepSize += row.FRepSize
+			acc.Tuples += row.Tuples
+			acc.Enumerated += row.Enumerated
+			acc.BuildPtrMS += row.BuildPtrMS
+			acc.BuildEncMS += row.BuildEncMS
+			acc.EnumPtrMS += row.EnumPtrMS
+			acc.EnumEncMS += row.EnumEncMS
+			acc.AggPtrMS += row.AggPtrMS
+			acc.AggEncMS += row.AggEncMS
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		f := float64(n)
+		x := func(ptr, enc float64) float64 {
+			if enc <= 0 {
+				return 0
+			}
+			return ptr / enc
+		}
+		fmt.Printf("retailer %d %d %d %d %.3f %.3f %.1f %.3f %.3f %.1f %.3f %.3f %.1f\n",
+			scale, acc.FRepSize/int64(n), acc.Tuples/int64(n), acc.Enumerated/int64(n),
+			acc.BuildPtrMS/f, acc.BuildEncMS/f, x(acc.BuildPtrMS, acc.BuildEncMS),
+			acc.EnumPtrMS/f, acc.EnumEncMS/f, x(acc.EnumPtrMS, acc.EnumEncMS),
+			acc.AggPtrMS/f, acc.AggEncMS/f, x(acc.AggPtrMS, acc.AggEncMS))
 	}
 }
 

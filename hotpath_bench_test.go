@@ -31,7 +31,7 @@ func BenchmarkCalibrate(b *testing.B) {
 	}
 }
 
-func retailerAggSetup(b *testing.B) (*frep.FRep, []relation.Attribute, []frep.AggSpec) {
+func retailerAggSetup(b *testing.B) (*frep.Enc, []relation.Attribute, []frep.AggSpec) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	q := bench.RetailerQuery(rng, 2)
@@ -49,18 +49,20 @@ func retailerAggSetup(b *testing.B) (*frep.FRep, []relation.Attribute, []frep.Ag
 }
 
 // BenchmarkBuildRetailer tracks the factorisation build: f-tree search,
-// group lift and representation construction on the retailer workload.
+// group lift and arena-backed columnar construction on the retailer
+// workload.
 func BenchmarkBuildRetailer(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	q := bench.RetailerQuery(rng, 2)
 	groupBy := []relation.Attribute{"s_location"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fr, err := bench.BuildRep(q, groupBy)
 		if err != nil {
 			b.Fatal(err)
 		}
-		benchSink = int64(len(fr.Roots))
+		benchSink = int64(fr.NodeCount())
 	}
 }
 
@@ -89,6 +91,7 @@ func BenchmarkExecPrepared(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := st.Exec(fdb.Arg("n", 20))
@@ -100,9 +103,10 @@ func BenchmarkExecPrepared(b *testing.B) {
 }
 
 // BenchmarkAggregateFactorised tracks the single-pass aggregation over the
-// factorised representation (the Experiment 6 fast path).
+// encoded factorised representation (the Experiment 6 fast path).
 func BenchmarkAggregateFactorised(b *testing.B) {
 	fr, groupBy, specs := retailerAggSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := fr.Aggregate(groupBy, specs)
@@ -117,6 +121,7 @@ func BenchmarkAggregateFactorised(b *testing.B) {
 // the same representation, for the Experiment 6 comparison.
 func BenchmarkAggregateEnumFold(b *testing.B) {
 	fr, groupBy, specs := retailerAggSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := bench.FoldAggregate(fr, groupBy, specs)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fbuild"
 	"repro/internal/fplan"
 	"repro/internal/frep"
+	"repro/internal/ftree"
 	"repro/internal/gen"
 	"repro/internal/opt"
 	"repro/internal/relation"
@@ -30,10 +31,11 @@ type Exp6Row struct {
 }
 
 // FoldAggregate is the enumerate-then-fold baseline: it enumerates the
-// flat relation tuple by tuple and folds every aggregate — what a consumer
+// flat relation tuple by tuple (over the encoded representation's
+// constant-delay iterator) and folds every aggregate — what a consumer
 // without factorised aggregation is forced to do. Exact (no saturation);
 // used as the reference by Experiment 6 and the aggregate benchmarks.
-func FoldAggregate(fr *frep.FRep, groupBy []relation.Attribute, specs []frep.AggSpec) []frep.AggRow {
+func FoldAggregate(fr *frep.Enc, groupBy []relation.Attribute, specs []frep.AggSpec) []frep.AggRow {
 	schema := fr.Schema()
 	pos := map[relation.Attribute]int{}
 	for i, a := range schema {
@@ -206,8 +208,20 @@ func Experiment6Chain(rng *rand.Rand, cfg Exp6Config) (Exp6Row, error) {
 
 // BuildRep compiles q (optimal f-tree search, then the Prepare-time lift
 // of the group-by attributes above everything else) and builds its
-// factorised representation.
-func BuildRep(q *core.Query, groupBy []relation.Attribute) (*frep.FRep, error) {
+// factorised representation in the arena-backed encoding — the engine's
+// hot path since the columnar refactor.
+func BuildRep(q *core.Query, groupBy []relation.Attribute) (*frep.Enc, error) {
+	tr, err := liftedTree(q, groupBy)
+	if err != nil {
+		return nil, err
+	}
+	return fbuild.BuildEnc(cloneRels(q.Relations), tr)
+}
+
+// liftedTree finds the optimal f-tree for q and lifts the group-by
+// attributes above everything else, as the query compiler does at Prepare
+// time.
+func liftedTree(q *core.Query, groupBy []relation.Attribute) (*ftree.T, error) {
 	tr, _, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
 	if err != nil {
 		return nil, err
@@ -217,7 +231,7 @@ func BuildRep(q *core.Query, groupBy []relation.Attribute) (*frep.FRep, error) {
 			return nil, err
 		}
 	}
-	return fbuild.Build(cloneRels(q.Relations), tr)
+	return tr, nil
 }
 
 // experiment6 runs one measurement: optimal f-tree, lift of the group-by

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/fbuild"
+	"repro/internal/frep"
+	"repro/internal/relation"
+)
+
+// Exp7Row is one point of Experiment 7: the arena-backed columnar encoding
+// versus the pointer representation on the three hot paths — build,
+// enumeration and grouped aggregation — over the same retailer workload and
+// the same lifted f-tree.
+type Exp7Row struct {
+	Workload   string
+	Scale      int
+	FRepSize   int64 // singletons in the factorised result
+	Tuples     int64 // tuples of the (never materialised) flat result
+	Enumerated int64 // tuples enumerated per leg (capped by MaxEnum)
+	BuildPtrMS float64
+	BuildEncMS float64
+	EnumPtrMS  float64
+	EnumEncMS  float64
+	AggPtrMS   float64
+	AggEncMS   float64
+	BuildX     float64 // pointer/encoded speedup per path
+	EnumX      float64
+	AggX       float64
+}
+
+// Exp7Config parameterises one Experiment 7 measurement.
+type Exp7Config struct {
+	Scale   int
+	MaxEnum int64 // enumerate at most this many tuples per leg (0: all)
+}
+
+// Experiment7Encoding measures one scale point: identical inputs and
+// f-tree, one pointer pipeline and one encoded pipeline, results
+// cross-checked for equality.
+func Experiment7Encoding(rng *rand.Rand, cfg Exp7Config) (Exp7Row, error) {
+	row := Exp7Row{Workload: "retailer", Scale: cfg.Scale}
+	q := RetailerQuery(rng, cfg.Scale)
+	groupBy := []relation.Attribute{"s_location"}
+	specs := []frep.AggSpec{
+		{Fn: frep.AggCount},
+		{Fn: frep.AggSum, Attr: "o_oid"},
+		{Fn: frep.AggCountDistinct, Attr: "o_item"},
+	}
+	tr, err := liftedTree(q, groupBy)
+	if err != nil {
+		return row, err
+	}
+
+	start := time.Now()
+	fr, err := fbuild.Build(cloneRels(q.Relations), tr.Clone())
+	if err != nil {
+		return row, err
+	}
+	row.BuildPtrMS = ms(start)
+
+	start = time.Now()
+	enc, err := fbuild.BuildEnc(cloneRels(q.Relations), tr.Clone())
+	if err != nil {
+		return row, err
+	}
+	row.BuildEncMS = ms(start)
+
+	row.FRepSize = int64(enc.Size())
+	row.Tuples = enc.Count()
+	if fr.Count() != row.Tuples || int64(fr.Size()) != row.FRepSize {
+		return row, fmt.Errorf("bench: pointer and encoded builds disagree (%d/%d tuples, %d/%d size)",
+			fr.Count(), row.Tuples, fr.Size(), row.FRepSize)
+	}
+
+	limit := row.Tuples
+	if cfg.MaxEnum > 0 && limit > cfg.MaxEnum {
+		limit = cfg.MaxEnum
+	}
+	row.Enumerated = limit
+
+	start = time.Now()
+	var np int64
+	fr.Enumerate(func(relation.Tuple) bool {
+		np++
+		return np < limit
+	})
+	row.EnumPtrMS = ms(start)
+
+	start = time.Now()
+	var ne int64
+	it := frep.NewEncIterator(enc)
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		ne++
+		if ne >= limit {
+			break
+		}
+	}
+	row.EnumEncMS = ms(start)
+	if np != ne {
+		return row, fmt.Errorf("bench: enumeration legs disagree (%d vs %d tuples)", np, ne)
+	}
+
+	start = time.Now()
+	ap, err := fr.Aggregate(groupBy, specs)
+	if err != nil {
+		return row, err
+	}
+	row.AggPtrMS = ms(start)
+
+	start = time.Now()
+	ae, err := enc.Aggregate(groupBy, specs)
+	if err != nil {
+		return row, err
+	}
+	row.AggEncMS = ms(start)
+	if len(ap) != len(ae) {
+		return row, fmt.Errorf("bench: aggregation legs disagree (%d vs %d groups)", len(ap), len(ae))
+	}
+	for i := range ap {
+		for j := range ap[i].Vals {
+			if ap[i].Vals[j] != ae[i].Vals[j] {
+				return row, fmt.Errorf("bench: aggregation legs disagree in group %v", ap[i].Key)
+			}
+		}
+	}
+
+	row.BuildX = speedup(row.BuildPtrMS, row.BuildEncMS)
+	row.EnumX = speedup(row.EnumPtrMS, row.EnumEncMS)
+	row.AggX = speedup(row.AggPtrMS, row.AggEncMS)
+	return row, nil
+}
+
+func ms(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+func speedup(ptr, enc float64) float64 {
+	if enc <= 0 {
+		return 0
+	}
+	return ptr / enc
+}

@@ -33,15 +33,19 @@ type Result struct {
 	// Benchmarks maps benchmark name (CPU suffix stripped) to the minimum
 	// ns/op observed across repetitions.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Allocs maps benchmark name to the minimum allocs/op observed (only
+	// benchmarks run with b.ReportAllocs report it). Allocation counts are
+	// deterministic across machines, so they are gated without calibration.
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:.*?\s([0-9.e+]+) allocs/op)?`)
 
 // ParseGoBench parses `go test -bench` text output. Repeated benchmarks
-// (-count > 1, or concatenated runs) keep their minimum ns/op — the least
-// noisy estimate of the true cost.
+// (-count > 1, or concatenated runs) keep their minimum ns/op and
+// allocs/op — the least noisy estimates of the true cost.
 func ParseGoBench(r io.Reader) (*Result, error) {
-	res := &Result{Benchmarks: map[string]float64{}}
+	res := &Result{Benchmarks: map[string]float64{}, Allocs: map[string]float64{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -62,6 +66,15 @@ func ParseGoBench(r io.Reader) (*Result, error) {
 		}
 		if old, ok := res.Benchmarks[name]; !ok || ns < old {
 			res.Benchmarks[name] = ns
+		}
+		if m[3] != "" {
+			allocs, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			if old, ok := res.Allocs[name]; !ok || allocs < old {
+				res.Allocs[name] = allocs
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -95,6 +108,9 @@ func ReadFile(path string) (*Result, error) {
 	if res.Benchmarks == nil {
 		res.Benchmarks = map[string]float64{}
 	}
+	if res.Allocs == nil {
+		res.Allocs = map[string]float64{}
+	}
 	return res, nil
 }
 
@@ -106,31 +122,47 @@ type Delta struct {
 	Ratio      float64 // normalised cur/base; > 1 means slower
 	Tracked    bool
 	Regression bool
+	// Allocation comparison (zero-valued when either side lacks allocs/op).
+	BaseAllocs      float64
+	CurAllocs       float64
+	AllocRatio      float64
+	AllocRegression bool
 }
 
 // Comparison is the full gate verdict.
 type Comparison struct {
 	Deltas  []Delta
 	Missing []string // tracked baseline benchmarks absent from the current run
+	// MissingAllocs lists tracked benchmarks whose baseline records
+	// allocs/op but whose current run does not — dropping b.ReportAllocs
+	// would otherwise silently disable the allocation gate.
+	MissingAllocs []string
 }
 
 // Failed reports whether the gate should fail the build.
 func (c *Comparison) Failed() bool {
-	if len(c.Missing) > 0 {
+	if len(c.Missing) > 0 || len(c.MissingAllocs) > 0 {
 		return true
 	}
 	for _, d := range c.Deltas {
-		if d.Regression {
+		if d.Regression || d.AllocRegression {
 			return true
 		}
 	}
 	return false
 }
 
+// allocSlack is the absolute allocation growth tolerated before the ratio
+// gate applies: tiny counts (a few header allocations) jitter with runtime
+// internals and should not flip the gate.
+const allocSlack = 16
+
 // Compare evaluates the current run against the baseline. Benchmarks whose
-// name matches tracked fail the gate when their normalised time grew by
-// more than threshold (0.25 = 25%); everything else is informational.
-func Compare(base, cur *Result, tracked *regexp.Regexp, threshold float64) *Comparison {
+// name matches tracked fail the gate when their normalised time — or their
+// allocs/op, where both sides report it — grew by more than the respective
+// threshold (0.25 = 25%); everything else is informational. Allocation
+// counts are portable across machines and compare unnormalised.
+func Compare(base, cur *Result, tracked *regexp.Regexp, threshold, allocThreshold float64) *Comparison {
 	norm := func(r *Result, ns float64) float64 {
 		if base.CalibrationNS > 0 && cur.CalibrationNS > 0 {
 			return ns / r.CalibrationNS
@@ -158,6 +190,22 @@ func Compare(base, cur *Result, tracked *regexp.Regexp, threshold float64) *Comp
 			d.Ratio = norm(cur, curNS) / norm(base, baseNS)
 		}
 		d.Regression = isTracked && d.Ratio > 1+threshold
+		baseAllocs, bok := base.Allocs[name]
+		curAllocs, cok := cur.Allocs[name]
+		if isTracked && bok && !cok {
+			out.MissingAllocs = append(out.MissingAllocs, name)
+		}
+		if bok && cok {
+			d.BaseAllocs, d.CurAllocs = baseAllocs, curAllocs
+			if baseAllocs > 0 {
+				d.AllocRatio = curAllocs / baseAllocs
+			}
+			// A zero-alloc baseline has no meaningful ratio: any growth past
+			// the slack regresses (that is exactly the state worth guarding).
+			grew := curAllocs > baseAllocs+allocSlack
+			d.AllocRegression = isTracked && grew &&
+				(baseAllocs == 0 || d.AllocRatio > 1+allocThreshold)
+		}
 		out.Deltas = append(out.Deltas, d)
 	}
 	return out
@@ -165,18 +213,34 @@ func Compare(base, cur *Result, tracked *regexp.Regexp, threshold float64) *Comp
 
 // Report renders the comparison as a table.
 func (c *Comparison) Report(w io.Writer) {
-	fmt.Fprintf(w, "%-40s %12s %12s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "ratio", "verdict")
+	fmt.Fprintf(w, "%-40s %12s %12s %8s %12s %8s  %s\n",
+		"benchmark", "base ns/op", "cur ns/op", "ratio", "allocs/op", "a-ratio", "verdict")
 	for _, d := range c.Deltas {
 		verdict := ""
 		switch {
+		case d.Regression && d.AllocRegression:
+			verdict = "REGRESSION (time+allocs)"
 		case d.Regression:
 			verdict = "REGRESSION"
+		case d.AllocRegression:
+			verdict = "REGRESSION (allocs)"
 		case d.Tracked:
 			verdict = "ok (tracked)"
 		}
-		fmt.Fprintf(w, "%-40s %12.0f %12.0f %8.2f  %s\n", d.Name, d.BaseNS, d.CurNS, d.Ratio, verdict)
+		allocs, aratio := "-", "-"
+		if d.BaseAllocs > 0 || d.CurAllocs > 0 {
+			allocs = fmt.Sprintf("%.0f→%.0f", d.BaseAllocs, d.CurAllocs)
+			aratio = fmt.Sprintf("%.2f", d.AllocRatio)
+		}
+		fmt.Fprintf(w, "%-40s %12.0f %12.0f %8.2f %12s %8s  %s\n",
+			d.Name, d.BaseNS, d.CurNS, d.Ratio, allocs, aratio, verdict)
 	}
 	for _, name := range c.Missing {
-		fmt.Fprintf(w, "%-40s %12s %12s %8s  MISSING (tracked benchmark not in current run)\n", name, "-", "-", "-")
+		fmt.Fprintf(w, "%-40s %12s %12s %8s %12s %8s  MISSING (tracked benchmark not in current run)\n",
+			name, "-", "-", "-", "-", "-")
+	}
+	for _, name := range c.MissingAllocs {
+		fmt.Fprintf(w, "%-40s %12s %12s %8s %12s %8s  MISSING allocs/op (tracked benchmark lost ReportAllocs)\n",
+			name, "-", "-", "-", "-", "-")
 	}
 }

@@ -11,9 +11,9 @@ const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro
 BenchmarkCalibrate-8         	     100	  12000000 ns/op
-BenchmarkBuildRetailer-8     	      50	  20000000 ns/op
-BenchmarkExecPrepared-8      	     200	   5000000 ns/op
-BenchmarkAggregateFactorised-8	    300	   3000000 ns/op
+BenchmarkBuildRetailer-8     	      50	  20000000 ns/op	 4000000 B/op	  200000 allocs/op
+BenchmarkExecPrepared-8      	     200	   5000000 ns/op	 1000000 B/op	   50000 allocs/op
+BenchmarkAggregateFactorised-8	    300	   3000000 ns/op	  800000 B/op	   10000 allocs/op
 BenchmarkExp1OptimiseFlat-8  	      10	 100000000 ns/op
 PASS
 ok  	repro	2.948s
@@ -63,7 +63,7 @@ var tracked = regexp.MustCompile(`Build|Exec|Aggregate`)
 func TestCompareNoRegression(t *testing.T) {
 	base := parse(t, sampleOutput)
 	cur := parse(t, sampleOutput)
-	c := Compare(base, cur, tracked, 0.25)
+	c := Compare(base, cur, tracked, 0.25, 0.25)
 	if c.Failed() {
 		t.Fatalf("identical runs must pass:\n%+v", c)
 	}
@@ -79,7 +79,7 @@ func TestCompareNormalisesByCalibration(t *testing.T) {
 		"5000000 ns/op", "10000000 ns/op",
 		"3000000 ns/op", "6000000 ns/op",
 	).Replace(sampleOutput)
-	c := Compare(base, parse(t, slow), tracked, 0.25)
+	c := Compare(base, parse(t, slow), tracked, 0.25, 0.25)
 	if c.Failed() {
 		t.Fatalf("uniformly slower machine must pass:\n%+v", c)
 	}
@@ -89,7 +89,7 @@ func TestCompareNormalisesByCalibration(t *testing.T) {
 func TestCompareDetectsRegression(t *testing.T) {
 	base := parse(t, sampleOutput)
 	reg := strings.Replace(sampleOutput, "3000000 ns/op", "6000000 ns/op", 1)
-	c := Compare(base, parse(t, reg), tracked, 0.25)
+	c := Compare(base, parse(t, reg), tracked, 0.25, 0.25)
 	if !c.Failed() {
 		t.Fatal("2x slower tracked benchmark must fail")
 	}
@@ -108,7 +108,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 func TestCompareIgnoresUntracked(t *testing.T) {
 	base := parse(t, sampleOutput)
 	reg := strings.Replace(sampleOutput, "100000000", "900000000", 1)
-	c := Compare(base, parse(t, reg), tracked, 0.25)
+	c := Compare(base, parse(t, reg), tracked, 0.25, 0.25)
 	if c.Failed() {
 		t.Fatalf("untracked regression must pass:\n%+v", c)
 	}
@@ -118,10 +118,78 @@ func TestCompareIgnoresUntracked(t *testing.T) {
 func TestCompareMissingTracked(t *testing.T) {
 	base := parse(t, sampleOutput)
 	cur := parse(t, strings.Replace(sampleOutput,
-		"BenchmarkAggregateFactorised-8	    300	   3000000 ns/op\n", "", 1))
-	c := Compare(base, cur, tracked, 0.25)
+		"BenchmarkAggregateFactorised-8	    300	   3000000 ns/op	  800000 B/op	   10000 allocs/op\n", "", 1))
+	c := Compare(base, cur, tracked, 0.25, 0.25)
 	if !c.Failed() || len(c.Missing) != 1 {
 		t.Fatalf("missing tracked benchmark must fail: %+v", c)
+	}
+}
+
+// Allocation counts are parsed with minima and gated like times.
+func TestParseAllocs(t *testing.T) {
+	res := parse(t, sampleOutput+"BenchmarkBuildRetailer-8 60 25000000 ns/op 5000000 B/op 150000 allocs/op\n")
+	if res.Allocs["BenchmarkBuildRetailer"] != 150000 {
+		t.Fatalf("alloc min not kept: %v", res.Allocs["BenchmarkBuildRetailer"])
+	}
+	if _, ok := res.Allocs["BenchmarkExp1OptimiseFlat"]; ok {
+		t.Fatal("benchmark without ReportAllocs must not record allocs")
+	}
+}
+
+// A tracked benchmark allocating 2x more fails the gate even at identical
+// speed.
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	base := parse(t, sampleOutput)
+	reg := strings.Replace(sampleOutput, "10000 allocs/op", "20000 allocs/op", 1)
+	c := Compare(base, parse(t, reg), tracked, 0.25, 0.25)
+	if !c.Failed() {
+		t.Fatal("2x allocs on tracked benchmark must fail")
+	}
+	found := false
+	for _, d := range c.Deltas {
+		if d.Name == "BenchmarkAggregateFactorised" && d.AllocRegression && !d.Regression {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alloc regression not attributed:\n%+v", c.Deltas)
+	}
+}
+
+// A zero-alloc baseline (no ratio to speak of) still gates growth past the
+// slack.
+func TestCompareAllocRegressionFromZero(t *testing.T) {
+	zero := strings.Replace(sampleOutput, "10000 allocs/op", "0 allocs/op", 1)
+	reg := strings.Replace(sampleOutput, "10000 allocs/op", "100000 allocs/op", 1)
+	c := Compare(parse(t, zero), parse(t, reg), tracked, 0.25, 0.25)
+	if !c.Failed() {
+		t.Fatal("allocation growth from a zero-alloc baseline must fail")
+	}
+}
+
+// Small absolute allocation growth stays under the slack even at a high
+// ratio, and a baseline without an allocs column never gates.
+func TestCompareAllocSlackAndMissing(t *testing.T) {
+	lean := strings.Replace(sampleOutput, "10000 allocs/op", "4 allocs/op", 1)
+	grown := strings.Replace(sampleOutput, "10000 allocs/op", "12 allocs/op", 1)
+	c := Compare(parse(t, lean), parse(t, grown), tracked, 0.25, 0.25)
+	if c.Failed() {
+		t.Fatalf("allocation growth within slack must pass:\n%+v", c.Deltas)
+	}
+	noAllocs := strings.Replace(sampleOutput, "	  800000 B/op	   10000 allocs/op", "", 1)
+	c = Compare(parse(t, noAllocs), parse(t, sampleOutput), tracked, 0.25, 0.25)
+	if c.Failed() {
+		t.Fatalf("allocs missing from the baseline must not gate:\n%+v", c.Deltas)
+	}
+}
+
+// A tracked benchmark that stops reporting allocs (lost b.ReportAllocs)
+// fails the gate instead of silently disabling it.
+func TestCompareMissingAllocsTracked(t *testing.T) {
+	noAllocs := strings.Replace(sampleOutput, "	  800000 B/op	   10000 allocs/op", "", 1)
+	c := Compare(parse(t, sampleOutput), parse(t, noAllocs), tracked, 0.25, 0.25)
+	if !c.Failed() || len(c.MissingAllocs) != 1 || c.MissingAllocs[0] != "BenchmarkAggregateFactorised" {
+		t.Fatalf("lost allocs/op on a tracked benchmark must fail: %+v", c.MissingAllocs)
 	}
 }
 
@@ -138,7 +206,7 @@ func TestRoundTripFile(t *testing.T) {
 	if back.CalibrationNS != res.CalibrationNS || len(back.Benchmarks) != len(res.Benchmarks) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", back, res)
 	}
-	c := Compare(res, back, tracked, 0.25)
+	c := Compare(res, back, tracked, 0.25, 0.25)
 	if c.Failed() {
 		t.Fatalf("round trip must compare clean:\n%+v", c)
 	}

@@ -48,6 +48,10 @@ type builder struct {
 	ctx  context.Context
 	tick uint
 	err  error
+	// encoded-build state: the column builder and one reusable mark buffer
+	// per recursion depth (entry rollback on empty subtrees).
+	eb    *frep.EncBuilder
+	marks [][]int32
 }
 
 // checkTick is how many leapfrog rounds pass between context polls.
@@ -158,6 +162,163 @@ func BuildContext(ctx context.Context, rels []*relation.Relation, t *ftree.T) (*
 	return fr, nil
 }
 
+// BuildEnc evaluates the natural join encoded by t over the given relations
+// directly into the arena-backed columnar representation — no intermediate
+// pointer tree is ever materialised. Same contract as Build otherwise.
+func BuildEnc(rels []*relation.Relation, t *ftree.T) (*frep.Enc, error) {
+	return BuildEncContext(context.Background(), rels, t)
+}
+
+// BuildEncContext is BuildEnc with cancellation, mirroring BuildContext.
+func BuildEncContext(ctx context.Context, rels []*relation.Relation, t *ftree.T) (*frep.Enc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(ctx, t)
+	states := make([]*relState, 0, len(rels))
+	for _, r := range rels {
+		st, err := b.newState(r)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, st)
+	}
+
+	b.eb = frep.NewEncBuilder(t)
+	empty := false
+	for _, root := range t.Roots {
+		var mine []*relState
+		for _, st := range states {
+			if len(st.nodes) > 0 && b.inSubtree(st.nodes[0], root) {
+				mine = append(mine, st)
+			}
+		}
+		ri := b.eb.Idx(root)
+		n := b.buildUnionEnc(root, ri, mine, 0)
+		b.eb.CloseUnion(ri)
+		if b.err != nil {
+			return nil, b.err
+		}
+		if n == 0 {
+			empty = true
+		}
+	}
+	if empty {
+		return frep.NewEmptyEnc(t), nil
+	}
+	return b.eb.Finish(), nil
+}
+
+// markAt returns the reusable mark buffer for recursion depth d.
+func (b *builder) markAt(d int) []int32 {
+	for len(b.marks) <= d {
+		b.marks = append(b.marks, nil)
+	}
+	return b.marks[d][:0]
+}
+
+// buildUnionEnc is buildUnion emitting entries straight into the column
+// builder; it returns the number of entries emitted into the (still open)
+// union of node. Entries whose subtree empties are rolled back.
+//
+// NOTE: the leapfrog core is a deliberate copy of buildUnion's (the two
+// differ only in emission) — apply any join-logic fix to both; the
+// TestBuildEncMatchesBuild parity test guards the results.
+func (b *builder) buildUnionEnc(node *ftree.Node, ni int, states []*relState, depth int) int {
+	var active []*relState
+	for _, st := range states {
+		if st.next < len(st.nodes) && st.nodes[st.next] == node {
+			active = append(active, st)
+		}
+	}
+	if len(active) == 0 {
+		// No relation constrains this class: impossible for query-derived
+		// trees (every class stems from some relation), so treat as empty.
+		return 0
+	}
+	count := 0
+	cur := make([]int, len(active)) // scan position within [lo,hi)
+	for i, st := range active {
+		cur[i] = st.lo
+	}
+	for {
+		if b.checkpoint() {
+			return count
+		}
+		var v relation.Value
+		for i, st := range active {
+			if cur[i] >= st.hi {
+				return count
+			}
+			if val := st.rel.Tuples[cur[i]][st.cols[st.next][0]]; i == 0 || val > v {
+				v = val
+			}
+		}
+		agreed := true
+		for i, st := range active {
+			col := st.cols[st.next][0]
+			cur[i] = st.seek(col, v, cur[i], st.hi)
+			if cur[i] >= st.hi {
+				return count
+			}
+			if st.rel.Tuples[cur[i]][col] != v {
+				agreed = false
+			}
+		}
+		if !agreed {
+			continue
+		}
+		type saved struct{ lo, hi, next int }
+		save := make([]saved, len(active))
+		ok := true
+		for i, st := range active {
+			save[i] = saved{st.lo, st.hi, st.next}
+			cols := st.cols[st.next]
+			lo := cur[i]
+			hi := st.seek(cols[0], v+1, lo, st.hi)
+			for _, c := range cols[1:] {
+				lo = st.seek(c, v, lo, hi)
+				hi = st.seek(c, v+1, lo, hi)
+			}
+			if lo >= hi {
+				ok = false
+			}
+			st.lo, st.hi = lo, hi
+			st.next++
+		}
+		if ok {
+			mark := b.markAt(depth)
+			mark = b.eb.Mark(ni, mark)
+			b.marks[depth] = mark
+			b.eb.Append(ni, v)
+			alive := true
+			kids := b.eb.Kids(ni)
+			for ci, child := range node.Children {
+				var mine []*relState
+				for _, st := range states {
+					if st.next < len(st.nodes) && b.inSubtree(st.nodes[st.next], child) {
+						mine = append(mine, st)
+					}
+				}
+				if b.buildUnionEnc(child, kids[ci], mine, depth+1) == 0 {
+					alive = false
+					break
+				}
+				b.eb.CloseUnion(kids[ci])
+			}
+			if alive {
+				count++
+			} else {
+				b.eb.Rollback(ni, b.marks[depth])
+			}
+		}
+		for i, st := range active {
+			st.lo, st.hi, st.next = save[i].lo, save[i].hi, save[i].next
+			cur[i] = st.seek(st.cols[st.next][0], v+1, cur[i], st.hi)
+		}
+	}
+}
+
 // newState sorts the relation by its classes in path order and prepares its
 // traversal state.
 func (b *builder) newState(r *relation.Relation) (*relState, error) {
@@ -209,6 +370,11 @@ func (st *relState) seek(col int, v relation.Value, lo, hi int) int {
 // buildUnion constructs the union for node from the relations routed here.
 // Relations in states either have node as their next class (active) or
 // start deeper (dormant).
+//
+// NOTE: the leapfrog core (propose-max, seek/agree, range narrowing,
+// save/restore) is intentionally duplicated in buildUnionEnc, which differs
+// only in how entries are emitted — keep the two in lockstep (the
+// TestBuildEncMatchesBuild parity test guards the results).
 func (b *builder) buildUnion(node *ftree.Node, states []*relState) *frep.Union {
 	var active []*relState
 	for _, st := range states {

@@ -204,3 +204,55 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestBuildEncMatchesBuild: on random queries, the encoded build produces
+// exactly the encoding of the pointer build (same tree, same data, same
+// layout), and it validates.
+func TestBuildEncMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		q, err := gen.RandomQuery(rng, 3, 7, 40, 2, gen.Uniform, 8)
+		if err != nil {
+			continue
+		}
+		tr, _, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
+		if err != nil {
+			continue
+		}
+		fr, err := Build(cloneRels(q.Relations), tr.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := BuildEnc(cloneRels(q.Relations), tr.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Validate(); err != nil {
+			t.Fatalf("encoded build invalid: %v", err)
+		}
+		if !enc.Equal(fr.Encode()) {
+			t.Fatalf("encoded build differs from encoded pointer build\ntree:\n%s", tr)
+		}
+		if !enc.Decode().Equal(fr) {
+			t.Fatalf("decoded encoded build differs from pointer build\ntree:\n%s", tr)
+		}
+	}
+}
+
+// TestBuildEncEmpty: the encoded build detects empty joins like Build.
+func TestBuildEncEmpty(t *testing.T) {
+	r := relation.New("R", relation.Schema{"A"})
+	r.Append(1)
+	s := relation.New("S", relation.Schema{"B"})
+	s.Append(2)
+	root := ftree.NewNode("A", "B")
+	tr := ftree.New([]*ftree.Node{root}, []relation.AttrSet{
+		relation.NewAttrSet("A"), relation.NewAttrSet("B")})
+	e, err := BuildEnc([]*relation.Relation{r, s}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsEmpty() || e.Count() != 0 {
+		t.Fatal("disjoint encoded join should be empty")
+	}
+}

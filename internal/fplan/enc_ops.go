@@ -1,0 +1,443 @@
+// Encoded (columnar) implementations of the f-plan operators. ApplyEnc is
+// the encoded counterpart of Op.Apply: it takes an arena-backed
+// representation and returns a fresh one (inputs are never mutated — arenas
+// are immutable and cheap to share).
+//
+// Selection-with-constant, merge, push-up, normalisation and projection
+// rewrite offset spans natively: everything off the root→target path is
+// bulk-copied (contiguous column ranges), and only the path itself is
+// re-emitted entry by entry so that emptiness cascades. Swap, absorb and
+// lift — the genuinely structural regroupings (the priority-queue algorithm
+// of Figure 4 and its derivatives) — fall back to decode → Apply → encode.
+package fplan
+
+import (
+	"fmt"
+
+	"repro/internal/frep"
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// ApplyEnc applies op to an encoded representation, returning the
+// transformed representation. The input is left untouched.
+func ApplyEnc(op Op, e *frep.Enc) (*frep.Enc, error) {
+	if e.IsEmpty() {
+		// Data-free: replay the structural change only, like the pointer
+		// operators do once a representation empties.
+		nt := e.Tree.Clone()
+		if err := op.ApplyTree(nt); err != nil {
+			return nil, err
+		}
+		return frep.NewEmptyEnc(nt), nil
+	}
+	switch o := op.(type) {
+	case SelectConst:
+		return selectConstEnc(o, e)
+	case Merge:
+		return mergeEnc(o, e)
+	case PushUp:
+		return pushUpEnc(o, e)
+	case Normalise:
+		return normaliseEnc(e)
+	case Project:
+		return projectEnc(o, e)
+	default:
+		return applyEncDecoded(op, e)
+	}
+}
+
+// applyEncDecoded is the decode → op → encode bridge for operators without
+// a native columnar implementation.
+func applyEncDecoded(op Op, e *frep.Enc) (*frep.Enc, error) {
+	f := e.Decode()
+	if err := op.Apply(f); err != nil {
+		return nil, err
+	}
+	return f.Encode(), nil
+}
+
+// ProductEnc combines two encoded representations over disjoint attribute
+// sets into their Cartesian product — the encoded mirror of Product. Time
+// linear in the input sizes (bulk column copies).
+func ProductEnc(a, b *frep.Enc) (*frep.Enc, error) {
+	t, err := productTree(a.Tree.Clone(), b.Tree.Clone())
+	if err != nil {
+		return nil, err
+	}
+	return frep.ConcatEnc(t, a, b), nil
+}
+
+// ------------------------------------------------------------- rewriter
+
+// encRewriter re-emits an encoded representation into a fresh builder,
+// customising behaviour at one target node and bulk-copying every subtree
+// off the root→target path. Entries on the path whose subtree empties are
+// rolled back; the removal cascades upward exactly like rewriteProducts.
+type encRewriter struct {
+	e        *frep.Enc
+	b        *frep.EncBuilder
+	s2d      []int // src pre-order index → dst pre-order index
+	tni      int   // target src node
+	pathNext []int // per src node: the child index continuing the path, -1 otherwise
+	// Exactly one of the two hooks is set. entryFilter keeps/drops the
+	// target's own entries (children copied verbatim). products emits the
+	// whole child product of target entry j (absolute index) into the
+	// builder, closing the emitted unions, and reports liveness.
+	entryFilter func(relation.Value) bool
+	products    func(j int) bool
+	marks       [][]int32
+}
+
+func newEncRewriter(e *frep.Enc, b *frep.EncBuilder, dt *ftree.T, tni int) *encRewriter {
+	r := &encRewriter{e: e, b: b, tni: tni}
+	r.s2d = make([]int, e.NodeCount())
+	for ni := 0; ni < e.NodeCount(); ni++ {
+		r.s2d[ni] = b.Idx(dt.NodeOf(e.Node(ni).Attrs[0]))
+	}
+	r.pathNext = make([]int, e.NodeCount())
+	for i := range r.pathNext {
+		r.pathNext[i] = -1
+	}
+	for ni := tni; ni >= 0; {
+		p := e.Parent(ni)
+		if p < 0 {
+			break
+		}
+		r.pathNext[p] = ni
+		ni = p
+	}
+	return r
+}
+
+func (r *encRewriter) markAt(d int) []int32 {
+	for len(r.marks) <= d {
+		r.marks = append(r.marks, nil)
+	}
+	return r.marks[d][:0]
+}
+
+// run emits every root and returns the finished representation
+// (canonicalised to the empty form if the rewrite emptied it).
+func (r *encRewriter) run() *frep.Enc {
+	for _, ri := range r.e.Roots() {
+		dri := r.s2d[ri]
+		if ri == r.tni || r.pathNext[ri] >= 0 {
+			r.emitUnion(ri, 0, 0)
+			r.b.CloseUnion(dri)
+		} else {
+			r.b.CopyUnions(r.e, ri, dri, 0, 1)
+		}
+	}
+	out := r.b.Finish()
+	if out.IsEmpty() {
+		return frep.NewEmptyEnc(out.Tree)
+	}
+	return out
+}
+
+// emitUnion re-emits union u of on-path node ni; returns entries emitted.
+func (r *encRewriter) emitUnion(ni, u, depth int) int {
+	e := r.e
+	lo, hi := e.UnionSpan(ni, u)
+	vals := e.Vals(ni)
+	dni := r.s2d[ni]
+	target := ni == r.tni
+	count := 0
+	for j := lo; j < hi; j++ {
+		if target && r.entryFilter != nil {
+			if !r.entryFilter(vals[j]) {
+				continue
+			}
+			// Surviving target entries copy their children verbatim; the
+			// reduction invariant guarantees nothing below can empty.
+			r.b.Append(dni, vals[j])
+			for _, ci := range e.Kids(ni) {
+				r.b.CopyUnions(e, ci, r.s2d[ci], int(j), int(j)+1)
+			}
+			count++
+			continue
+		}
+		mark := r.b.Mark(dni, r.markAt(depth))
+		r.marks[depth] = mark
+		r.b.Append(dni, vals[j])
+		dead := false
+		if target {
+			dead = !r.products(int(j))
+		} else {
+			for _, ci := range e.Kids(ni) {
+				if ci == r.pathNext[ni] {
+					if r.emitUnion(ci, int(j), depth+1) == 0 {
+						dead = true
+						break
+					}
+					r.b.CloseUnion(r.s2d[ci])
+				} else {
+					r.b.CopyUnions(e, ci, r.s2d[ci], int(j), int(j)+1)
+				}
+			}
+		}
+		if dead {
+			r.b.Rollback(dni, r.marks[depth])
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// --------------------------------------------------- native operators
+
+// selectConstEnc is σ_{AθC} on the encoded form: one filtered re-emit of
+// the node's unions with upward cascade; for equality the node becomes
+// constant and the representation re-normalises.
+func selectConstEnc(o SelectConst, e *frep.Enc) (*frep.Enc, error) {
+	sn := e.Tree.NodeOf(o.A)
+	if sn == nil {
+		return nil, fmt.Errorf("fplan: attribute %q not in f-tree", o.A)
+	}
+	nt := e.Tree.Clone()
+	b := frep.NewEncBuilder(nt)
+	r := newEncRewriter(e, b, nt, e.NodeIndex(sn))
+	r.entryFilter = func(v relation.Value) bool { return o.Op.eval(v, o.C) }
+	out := r.run()
+	if o.Op == Eq {
+		out.Tree.MarkConst(o.A)
+		return normaliseEnc(out)
+	}
+	return out, nil
+}
+
+// normaliseEnc is η on the encoded form: the same probe-then-apply loop as
+// Normalise.Apply, with native push-ups.
+func normaliseEnc(e *frep.Enc) (*frep.Enc, error) {
+	for {
+		probe := e.Tree.Clone()
+		steps := probe.NormaliseSteps()
+		if len(steps) == 0 {
+			return e, nil
+		}
+		next, err := ApplyEnc(PushUp{B: steps[0]}, e)
+		if err != nil {
+			return nil, err
+		}
+		e = next
+	}
+}
+
+// pushUpEnc is ψ_B on the encoded form: the B-union of each enclosing
+// product is factored out (all copies equal by independence — the first is
+// kept) and the A-entries drop their B slot. Everything else bulk-copies.
+func pushUpEnc(o PushUp, e *frep.Enc) (*frep.Enc, error) {
+	snb := e.Tree.NodeOf(o.B)
+	if snb == nil {
+		return nil, fmt.Errorf("fplan: attribute %q not in f-tree", o.B)
+	}
+	sna := e.Tree.ParentOf(snb)
+	if sna == nil {
+		return nil, fmt.Errorf("fplan: push-up: node of %q is a root", o.B)
+	}
+	if e.Tree.SubtreeDependsOnNode(snb, sna) {
+		return nil, fmt.Errorf("fplan: push-up of %q violates the path constraint", o.B)
+	}
+	sgp := e.Tree.ParentOf(sna)
+	sai, sbi := e.NodeIndex(sna), e.NodeIndex(snb)
+
+	nt := e.Tree.Clone()
+	if err := nt.PushUp(o.B); err != nil {
+		return nil, err
+	}
+	b := frep.NewEncBuilder(nt)
+
+	var checkErr error
+	// emitProduct emits the whole child product of grandparent entry j
+	// (j < 0: the root-level product): the A-union without its B slot, the
+	// factored-out B-union, and verbatim copies of the other members.
+	var s2d []int
+	emitProduct := func(members []int, j int) bool {
+		u := 0
+		if j >= 0 {
+			u = j
+		}
+		for _, m := range members {
+			if m != sai {
+				b.CopyUnions(e, m, s2d[m], u, u+1)
+				continue
+			}
+			lo, hi := e.UnionSpan(sai, u)
+			vals := e.Vals(sai)
+			dA := s2d[sai]
+			for i := lo; i < hi; i++ {
+				b.Append(dA, vals[i])
+				for _, ci := range e.Kids(sai) {
+					if ci == sbi {
+						continue
+					}
+					b.CopyUnions(e, ci, s2d[ci], int(i), int(i)+1)
+				}
+			}
+			b.CloseUnion(dA)
+			// The factored-out copy: B-union of the first A-entry.
+			b.CopyUnions(e, sbi, s2d[sbi], int(lo), int(lo)+1)
+			if Strict && checkErr == nil {
+				for i := lo + 1; i < hi; i++ {
+					if !e.UnionEqual(sbi, int(i), int(lo)) {
+						checkErr = fmt.Errorf("fplan: push-up of %q factored out unequal copies", o.B)
+						break
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	var out *frep.Enc
+	if sgp == nil {
+		// Root-level product: no path to cascade through.
+		r := newEncRewriter(e, b, nt, -1) // mapping only; no hooks used
+		s2d = r.s2d
+		members := append([]int(nil), e.Roots()...)
+		emitProduct(members, -1)
+		out = b.Finish()
+		if out.IsEmpty() {
+			out = frep.NewEmptyEnc(nt)
+		}
+	} else {
+		gpi := e.NodeIndex(sgp)
+		r := newEncRewriter(e, b, nt, gpi)
+		s2d = r.s2d
+		members := e.Kids(gpi)
+		r.products = func(j int) bool { return emitProduct(members, j) }
+		out = r.run()
+	}
+	if checkErr != nil {
+		return nil, checkErr
+	}
+	return out, nil
+}
+
+// mergeEnc is μ_{A,B} on the encoded form: a sort-merge intersection of the
+// two sibling unions per product; matched entries bulk-copy the children of
+// both sides under the merged node, and an empty intersection kills the
+// enclosing entry.
+func mergeEnc(o Merge, e *frep.Enc) (*frep.Enc, error) {
+	if !e.Tree.AreSiblings(o.A, o.B) {
+		return nil, fmt.Errorf("fplan: merge: nodes of %q and %q are not siblings", o.A, o.B)
+	}
+	sna, snb := e.Tree.NodeOf(o.A), e.Tree.NodeOf(o.B)
+	sp := e.Tree.ParentOf(sna)
+	sai, sbi := e.NodeIndex(sna), e.NodeIndex(snb)
+
+	nt := e.Tree.Clone()
+	if err := nt.Merge(o.A, o.B); err != nil {
+		return nil, err
+	}
+	b := frep.NewEncBuilder(nt)
+
+	var s2d []int
+	emitMerged := func(uA, uB int) int {
+		alo, ahi := e.UnionSpan(sai, uA)
+		blo, bhi := e.UnionSpan(sbi, uB)
+		va, vb := e.Vals(sai), e.Vals(sbi)
+		dM := s2d[sai]
+		count := 0
+		i, k := alo, blo
+		for i < ahi && k < bhi {
+			switch {
+			case va[i] < vb[k]:
+				i++
+			case va[i] > vb[k]:
+				k++
+			default:
+				b.Append(dM, va[i])
+				for _, ca := range e.Kids(sai) {
+					b.CopyUnions(e, ca, s2d[ca], int(i), int(i)+1)
+				}
+				for _, cb := range e.Kids(sbi) {
+					b.CopyUnions(e, cb, s2d[cb], int(k), int(k)+1)
+				}
+				count++
+				i++
+				k++
+			}
+		}
+		b.CloseUnion(dM)
+		return count
+	}
+	emitProduct := func(members []int, j int) bool {
+		u := 0
+		if j >= 0 {
+			u = j
+		}
+		alive := true
+		for _, m := range members {
+			switch m {
+			case sbi:
+				// Folded into the merged union.
+			case sai:
+				if emitMerged(u, u) == 0 {
+					alive = false
+				}
+			default:
+				b.CopyUnions(e, m, s2d[m], u, u+1)
+			}
+			if !alive {
+				break
+			}
+		}
+		return alive
+	}
+
+	if sp == nil {
+		r := newEncRewriter(e, b, nt, -1) // mapping only
+		s2d = r.s2d
+		if !emitProduct(e.Roots(), -1) {
+			return frep.NewEmptyEnc(nt), nil
+		}
+		out := b.Finish()
+		if out.IsEmpty() {
+			return frep.NewEmptyEnc(nt), nil
+		}
+		return out, nil
+	}
+	pi := e.NodeIndex(sp)
+	r := newEncRewriter(e, b, nt, pi)
+	s2d = r.s2d
+	members := e.Kids(pi)
+	r.products = func(j int) bool { return emitProduct(members, j) }
+	return r.run(), nil
+}
+
+// projectEnc is π_Ā on the encoded form: hidden marking is tree-only,
+// removing an all-hidden leaf drops its column outright (O(#nodes), no data
+// movement — parent entries are untouched), and only internal all-hidden
+// nodes pay for swaps through the decode bridge.
+func projectEnc(o Project, e *frep.Enc) (*frep.Enc, error) {
+	for _, a := range o.Attrs {
+		if e.Tree.NodeOf(a) == nil {
+			return nil, fmt.Errorf("fplan: project: attribute %q not in f-tree", a)
+		}
+	}
+	cur := e.ReTree(e.Tree.Clone())
+	cur.Tree.MarkHidden(o.hiddenAttrs(cur.Tree))
+	for {
+		n := findAllHidden(cur.Tree)
+		if n == nil {
+			return cur, nil
+		}
+		if len(n.Children) == 0 {
+			ni := cur.NodeIndex(n)
+			t := cur.Tree
+			if err := t.RemoveLeaf(n); err != nil {
+				return nil, err
+			}
+			cur = cur.DropLeaf(t, ni)
+			continue
+		}
+		next, err := ApplyEnc(Swap{A: n.Attrs[0], B: n.Children[0].Attrs[0]}, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+}

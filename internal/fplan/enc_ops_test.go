@@ -1,0 +1,218 @@
+package fplan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frep"
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// encFixture builds the two-relation product fixture of endtoend_test and
+// returns the pointer form (encoded forms are derived per test).
+func encFixture(rng *rand.Rand) (*frep.FRep, error) {
+	deps := []relation.AttrSet{
+		relation.NewAttrSet("A", "B"),
+		relation.NewAttrSet("C", "D"),
+	}
+	ra := relation.New("RA", relation.Schema{"A", "B"})
+	rc := relation.New("RC", relation.Schema{"C", "D"})
+	for i := 0; i < 4+rng.Intn(16); i++ {
+		ra.Append(relation.Value(rng.Intn(3)), relation.Value(rng.Intn(3)))
+	}
+	for i := 0; i < 4+rng.Intn(16); i++ {
+		rc.Append(relation.Value(rng.Intn(3)), relation.Value(rng.Intn(3)))
+	}
+	ra.Dedup()
+	rc.Dedup()
+	shadow := ra.Product(rc)
+	roots := []*ftree.Node{
+		ftree.NewNode("A").Add(ftree.NewNode("B")),
+		ftree.NewNode("C").Add(ftree.NewNode("D")),
+	}
+	return frep.FromRelation(ftree.New(roots, deps), shadow)
+}
+
+// randomEncOp picks a random operator (the endtoend set plus push-up and
+// normalise); applicability is not guaranteed — error parity is part of
+// the property.
+func randomEncOp(rng *rand.Rand, f *frep.FRep) Op {
+	var attrs []relation.Attribute
+	for a := range f.Tree.Attrs() {
+		attrs = append(attrs, a)
+	}
+	if len(attrs) == 0 {
+		return nil
+	}
+	for i := 1; i < len(attrs); i++ {
+		for j := i; j > 0 && attrs[j] < attrs[j-1]; j-- {
+			attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+		}
+	}
+	pick := func() relation.Attribute { return attrs[rng.Intn(len(attrs))] }
+	switch rng.Intn(6) {
+	case 0:
+		a := pick()
+		n := f.Tree.NodeOf(a)
+		if len(n.Children) == 0 {
+			return nil
+		}
+		return Swap{A: a, B: n.Children[rng.Intn(len(n.Children))].Attrs[0]}
+	case 1:
+		return Merge{A: pick(), B: pick()}
+	case 2:
+		return Absorb{A: pick(), B: pick()}
+	case 3:
+		ops := []Cmp{Eq, Ne, Lt, Le, Gt, Ge}
+		return SelectConst{A: pick(), Op: ops[rng.Intn(len(ops))], C: relation.Value(rng.Intn(3))}
+	case 4:
+		return PushUp{B: pick()}
+	default:
+		return Normalise{}
+	}
+}
+
+// TestApplyEncMatchesApplyRandom: random operator sequences applied to the
+// pointer and encoded forms in lockstep yield equal representations (and
+// equal error outcomes) at every step.
+func TestApplyEncMatchesApplyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 80; trial++ {
+		f, err := encFixture(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		enc := f.Clone().Encode()
+		for s := 0; s < 6; s++ {
+			op := randomEncOp(rng, f)
+			if op == nil {
+				continue
+			}
+			errP := op.Apply(f)
+			enc2, errE := ApplyEnc(op, enc)
+			if (errP == nil) != (errE == nil) {
+				t.Fatalf("trial %d step %d (%s): pointer err %v, encoded err %v", trial, s, op, errP, errE)
+			}
+			if errP != nil {
+				continue // applicability errors precede mutation on both sides
+			}
+			enc = enc2
+			if err := enc.Validate(); err != nil {
+				t.Fatalf("trial %d step %d (%s): encoded invalid: %v", trial, s, op, err)
+			}
+			if enc.Tree.Canonical() != f.Tree.Canonical() {
+				t.Fatalf("trial %d step %d (%s): trees diverged\nenc:\n%s\nptr:\n%s",
+					trial, s, op, enc.Tree, f.Tree)
+			}
+			if !enc.Equal(f.Encode()) {
+				t.Fatalf("trial %d step %d (%s): representations diverged\nenc: %s\nptr: %s\ntree:\n%s",
+					trial, s, op, enc, f, f.Tree)
+			}
+		}
+	}
+}
+
+// TestProjectEncMatchesApply: projection onto random attribute subsets
+// agrees between the forms (leaf drops and swap-down bridges included).
+func TestProjectEncMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	all := []relation.Attribute{"A", "B", "C", "D"}
+	for trial := 0; trial < 60; trial++ {
+		f, err := encFixture(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		enc := f.Clone().Encode()
+		var keep []relation.Attribute
+		for _, a := range all {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, a)
+			}
+		}
+		if len(keep) == 0 {
+			keep = []relation.Attribute{all[rng.Intn(len(all))]}
+		}
+		op := Project{Attrs: keep}
+		errP := op.Apply(f)
+		enc2, errE := ApplyEnc(op, enc)
+		if (errP == nil) != (errE == nil) {
+			t.Fatalf("trial %d π%v: pointer err %v, encoded err %v", trial, keep, errP, errE)
+		}
+		if errP != nil {
+			continue
+		}
+		if err := enc2.Validate(); err != nil {
+			t.Fatalf("trial %d π%v: encoded invalid: %v", trial, keep, err)
+		}
+		if !enc2.Equal(f.Encode()) {
+			t.Fatalf("trial %d π%v: diverged\nenc: %s\nptr: %s", trial, keep, enc2, f)
+		}
+	}
+}
+
+// TestLiftEncMatchesApply: the lift restructuring (a swap sequence through
+// the decode bridge) agrees with the pointer form.
+func TestLiftEncMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	all := []relation.Attribute{"A", "B", "C", "D"}
+	for trial := 0; trial < 40; trial++ {
+		f, err := encFixture(rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		enc := f.Clone().Encode()
+		lift := Lift{Attrs: []relation.Attribute{all[rng.Intn(len(all))]}}
+		errP := lift.Apply(f)
+		enc2, errE := ApplyEnc(lift, enc)
+		if (errP == nil) != (errE == nil) {
+			t.Fatalf("trial %d %s: pointer err %v, encoded err %v", trial, lift, errP, errE)
+		}
+		if errP != nil {
+			continue
+		}
+		if !enc2.Equal(f.Encode()) {
+			t.Fatalf("trial %d %s: diverged", trial, lift)
+		}
+	}
+}
+
+// TestProductEncMatchesProduct: the encoded Cartesian product equals the
+// encoding of the pointer product.
+func TestProductEncMatchesProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		f, err := encFixture(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := relation.New("RE", relation.Schema{"E"})
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			re.Append(relation.Value(rng.Intn(5)))
+		}
+		re.Dedup()
+		g, err := frep.FromRelation(
+			ftree.New([]*ftree.Node{ftree.NewNode("E")}, []relation.AttrSet{relation.NewAttrSet("E")}), re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Product(f, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ProductEnc(f.Clone().Encode(), g.Clone().Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: product invalid: %v", trial, err)
+		}
+		if !got.Equal(want.Encode()) {
+			t.Fatalf("trial %d: product diverged", trial)
+		}
+		// Overlapping attributes must be rejected on both sides.
+		if _, err := ProductEnc(got, f.Clone().Encode()); err == nil {
+			t.Fatal("overlapping product accepted")
+		}
+	}
+}

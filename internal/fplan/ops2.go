@@ -223,24 +223,34 @@ func (o Project) Apply(f *frep.FRep) error {
 
 // ---------------------------------------------------------------- product ×
 
+// productTree validates attribute disjointness and combines two trees into
+// the product forest (Section 3.2). ta and tb must be private to the
+// caller (their roots are absorbed into the result).
+func productTree(ta, tb *ftree.T) (*ftree.T, error) {
+	aAttrs := ta.Attrs()
+	for x := range tb.Attrs() {
+		if aAttrs.Has(x) {
+			return nil, fmt.Errorf("fplan: product: attribute %q on both sides", x)
+		}
+	}
+	return &ftree.T{
+		Roots:  append(ta.Roots, tb.Roots...),
+		Rels:   append(ta.Rels, tb.Rels...),
+		Deps:   append(ta.Deps, tb.Deps...),
+		Hidden: ta.Hidden.Union(tb.Hidden),
+		Consts: ta.Consts.Union(tb.Consts),
+	}, nil
+}
+
 // Product combines two representations over disjoint attribute sets into
 // their Cartesian product (Section 3.2): the forest of both trees, the
 // concatenation of both root products. Time linear in the input sizes. The
 // inputs are cloned; the result owns its structure.
 func Product(a, b *frep.FRep) (*frep.FRep, error) {
-	aAttrs, bAttrs := a.Tree.Attrs(), b.Tree.Attrs()
-	for x := range bAttrs {
-		if aAttrs.Has(x) {
-			return nil, fmt.Errorf("fplan: product: attribute %q on both sides", x)
-		}
-	}
 	ca, cb := a.Clone(), b.Clone()
-	t := &ftree.T{
-		Roots:  append(ca.Tree.Roots, cb.Tree.Roots...),
-		Rels:   append(ca.Tree.Rels, cb.Tree.Rels...),
-		Deps:   append(ca.Tree.Deps, cb.Tree.Deps...),
-		Hidden: ca.Tree.Hidden.Union(cb.Tree.Hidden),
-		Consts: ca.Tree.Consts.Union(cb.Tree.Consts),
+	t, err := productTree(ca.Tree, cb.Tree)
+	if err != nil {
+		return nil, err
 	}
 	out := &frep.FRep{
 		Tree:  t,

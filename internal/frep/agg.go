@@ -95,31 +95,12 @@ type AggRow struct {
 // Counts saturate at math.MaxInt64; sums saturate at ±math.MaxInt64 — like
 // Count, exact for the paper's workloads and clamped beyond.
 func (f *FRep) Aggregate(groupBy []relation.Attribute, specs []AggSpec) ([]AggRow, error) {
-	slot := make(map[relation.Attribute]int, len(groupBy))
-	for i, a := range groupBy {
-		if _, dup := slot[a]; dup {
-			return nil, fmt.Errorf("frep: duplicate group-by attribute %q", a)
-		}
-		if f.Tree.NodeOf(a) == nil || f.Tree.Hidden.Has(a) {
-			return nil, fmt.Errorf("frep: group-by attribute %q not in representation", a)
-		}
-		slot[a] = i
-	}
-	for _, s := range specs {
-		if s.Fn == AggCount {
-			continue
-		}
-		if f.Tree.NodeOf(s.Attr) == nil || f.Tree.Hidden.Has(s.Attr) {
-			return nil, fmt.Errorf("frep: aggregate attribute %q not in representation", s.Attr)
-		}
+	ev, err := newAggEval(f.Tree, groupBy, specs)
+	if err != nil {
+		return nil, err
 	}
 	if f.IsEmpty() {
 		return nil, nil
-	}
-	ev := &aggEval{slot: slot, nKey: len(groupBy), specs: specs,
-		groupBelow: map[*ftree.Node]bool{}, specBelow: map[*ftree.Node]bool{}}
-	for _, r := range f.Tree.Roots {
-		ev.markBelow(r)
 	}
 	// Subtrees without group attributes need no key bookkeeping: they fold
 	// into a single scalar partial (and, without aggregated attributes
@@ -136,6 +117,42 @@ func (f *FRep) Aggregate(groupBy []relation.Attribute, specs []AggSpec) ([]AggRo
 			cur = ev.cross(cur, m)
 		}
 	}
+	return ev.finishRows(cur, scalar), nil
+}
+
+// newAggEval validates the aggregation request against the tree and
+// prepares the shared evaluation context (used by both the pointer and the
+// encoded evaluator).
+func newAggEval(t *ftree.T, groupBy []relation.Attribute, specs []AggSpec) (*aggEval, error) {
+	slot := make(map[relation.Attribute]int, len(groupBy))
+	for i, a := range groupBy {
+		if _, dup := slot[a]; dup {
+			return nil, fmt.Errorf("frep: duplicate group-by attribute %q", a)
+		}
+		if t.NodeOf(a) == nil || t.Hidden.Has(a) {
+			return nil, fmt.Errorf("frep: group-by attribute %q not in representation", a)
+		}
+		slot[a] = i
+	}
+	for _, s := range specs {
+		if s.Fn == AggCount {
+			continue
+		}
+		if t.NodeOf(s.Attr) == nil || t.Hidden.Has(s.Attr) {
+			return nil, fmt.Errorf("frep: aggregate attribute %q not in representation", s.Attr)
+		}
+	}
+	ev := &aggEval{slot: slot, nKey: len(groupBy), specs: specs,
+		groupBelow: map[*ftree.Node]bool{}, specBelow: map[*ftree.Node]bool{}}
+	for _, r := range t.Roots {
+		ev.markBelow(r)
+	}
+	return ev, nil
+}
+
+// finishRows folds the top-level scalar into the keyed partials and renders
+// the sorted output rows.
+func (ev *aggEval) finishRows(cur map[string]*partial, scalar *partial) []AggRow {
 	if cur == nil {
 		scalar.key = make([]relation.Value, ev.nKey)
 		cur = map[string]*partial{pkey(scalar.key): scalar}
@@ -146,8 +163,8 @@ func (f *FRep) Aggregate(groupBy []relation.Attribute, specs []AggSpec) ([]AggRo
 	}
 	rows := make([]AggRow, 0, len(cur))
 	for _, p := range cur {
-		row := AggRow{Key: p.key, Vals: make([]int64, len(specs))}
-		for i, s := range specs {
+		row := AggRow{Key: p.key, Vals: make([]int64, len(ev.specs))}
+		for i, s := range ev.specs {
 			switch s.Fn {
 			case AggCount:
 				row.Vals[i] = p.cnt
@@ -169,7 +186,7 @@ func (f *FRep) Aggregate(groupBy []relation.Attribute, specs []AggSpec) ([]AggRo
 		}
 		return false
 	})
-	return rows, nil
+	return rows
 }
 
 // aggEval carries the shared evaluation context.
@@ -393,6 +410,15 @@ func (ev *aggEval) entry(e *Entry, n *ftree.Node) map[string]*partial {
 			cur = ev.cross(cur, m)
 		}
 	}
+	return ev.foldEntry(cur, scalar, e.Val, n)
+}
+
+// foldEntry finishes one group-zone entry (shared by the pointer and
+// encoded walkers): the top-level scalar merges into the keyed partials,
+// then the entry's own value extends every partial's group slots and
+// aggregate states, re-keying the map where the node is "hot" (touches a
+// key slot or a spec attribute).
+func (ev *aggEval) foldEntry(cur map[string]*partial, scalar *partial, v relation.Value, n *ftree.Node) map[string]*partial {
 	if cur == nil {
 		scalar.key = make([]relation.Value, ev.nKey)
 		cur = map[string]*partial{pkey(scalar.key): scalar}
@@ -401,7 +427,7 @@ func (ev *aggEval) entry(e *Entry, n *ftree.Node) map[string]*partial {
 			ev.mergeScalar(p, scalar)
 		}
 	}
-	hot := false // does this node touch a key slot or a spec?
+	hot := false
 	for _, a := range n.Attrs {
 		if _, ok := ev.slot[a]; ok {
 			hot = true
@@ -419,10 +445,10 @@ func (ev *aggEval) entry(e *Entry, n *ftree.Node) map[string]*partial {
 	for _, p := range cur {
 		for _, a := range n.Attrs {
 			if si, ok := ev.slot[a]; ok {
-				p.key[si] = e.Val
+				p.key[si] = v
 			}
 		}
-		ev.applyNode(p, e.Val, n)
+		ev.applyNode(p, v, n)
 		k := pkey(p.key)
 		if q, ok := out[k]; ok {
 			ev.add(q, p)

@@ -1,0 +1,99 @@
+// Aggregation over the encoded (columnar) representation: the same
+// algebraic evaluator as agg.go — unions add partials, products multiply
+// counts and cross-combine sums — but walking value columns and offset
+// spans with index arithmetic instead of chasing *Union pointers.
+package frep
+
+import (
+	"repro/internal/relation"
+)
+
+// Aggregate computes the given aggregates over the represented relation,
+// grouped by the groupBy attributes, in one pass over the columns. Rows
+// come back sorted by group key, identical to FRep.Aggregate on the
+// equivalent pointer form.
+func (e *Enc) Aggregate(groupBy []relation.Attribute, specs []AggSpec) ([]AggRow, error) {
+	ev, err := newAggEval(e.Tree, groupBy, specs)
+	if err != nil {
+		return nil, err
+	}
+	if e.IsEmpty() {
+		return nil, nil
+	}
+	scalar := ev.unit()
+	var cur map[string]*partial
+	for _, ri := range e.ti.roots {
+		n := e.ti.nodes[ri]
+		lo, hi := int32(0), int32(e.NumEntries(ri))
+		if !ev.groupBelow[n] {
+			ev.crossScalar(scalar, ev.encScalarSpan(e, ri, lo, hi, 0))
+		} else if m := ev.encSpan(e, ri, lo, hi); cur == nil {
+			cur = m
+		} else {
+			cur = ev.cross(cur, m)
+		}
+	}
+	return ev.finishRows(cur, scalar), nil
+}
+
+// encScalarSpan aggregates entries [lo,hi) of node ni — a subtree holding
+// no group attribute — into a single partial, allocation-free via the
+// per-depth scratch slots (the columnar mirror of scalarUnion).
+func (ev *aggEval) encScalarSpan(e *Enc, ni int, lo, hi int32, d int) *partial {
+	n := e.ti.nodes[ni]
+	if !ev.specBelow[n] {
+		return ev.scratchAt(&ev.uscratch, d, e.countSpan(ni, lo, hi))
+	}
+	total := ev.scratchAt(&ev.uscratch, d, 0)
+	for j := lo; j < hi; j++ {
+		ev.add(total, ev.encScalarEntry(e, ni, j, d))
+	}
+	return total
+}
+
+// encScalarEntry aggregates one entry (absolute index j) of node ni.
+func (ev *aggEval) encScalarEntry(e *Enc, ni int, j int32, d int) *partial {
+	p := ev.scratchAt(&ev.escratch, d, 1)
+	for _, ci := range e.ti.kids[ni] {
+		clo, chi := e.UnionSpan(ci, int(j))
+		ev.crossScalar(p, ev.encScalarSpan(e, ci, clo, chi, d+1))
+	}
+	ev.applyNode(p, e.Vals(ni)[j], e.ti.nodes[ni])
+	return p
+}
+
+// encSpan aggregates entries [lo,hi) of node ni (one union of the group
+// zone), keyed by the group slots fixed inside the subtree.
+func (ev *aggEval) encSpan(e *Enc, ni int, lo, hi int32) map[string]*partial {
+	out := make(map[string]*partial, 1)
+	for j := lo; j < hi; j++ {
+		for k, p := range ev.encEntry(e, ni, j) {
+			if q, ok := out[k]; ok {
+				ev.add(q, p)
+			} else {
+				out[k] = p
+			}
+		}
+	}
+	return out
+}
+
+// encEntry aggregates one group-zone entry: the product of its child
+// unions (scalar for group-free children, keyed for the rest), finished by
+// the shared foldEntry — the columnar mirror of aggEval.entry.
+func (ev *aggEval) encEntry(e *Enc, ni int, j int32) map[string]*partial {
+	scalar := ev.unit()
+	var cur map[string]*partial
+	for _, ci := range e.ti.kids[ni] {
+		cn := e.ti.nodes[ci]
+		clo, chi := e.UnionSpan(ci, int(j))
+		if !ev.groupBelow[cn] {
+			ev.crossScalar(scalar, ev.encScalarSpan(e, ci, clo, chi, 0))
+		} else if m := ev.encSpan(e, ci, clo, chi); cur == nil {
+			cur = m
+		} else {
+			cur = ev.cross(cur, m)
+		}
+	}
+	return ev.foldEntry(cur, scalar, e.Vals(ni)[j], e.ti.nodes[ni])
+}

@@ -1,0 +1,136 @@
+package frep
+
+import (
+	"repro/internal/relation"
+)
+
+// fillTable precomputes, per pre-order node, the output-buffer positions of
+// the node's visible attributes.
+func encFillTable(e *Enc, schema relation.Schema) [][]int {
+	pos := map[relation.Attribute]int{}
+	for i, a := range schema {
+		pos[a] = i
+	}
+	fills := make([][]int, len(e.ti.nodes))
+	for ni, n := range e.ti.nodes {
+		for _, a := range n.Attrs {
+			if p, ok := pos[a]; ok {
+				fills[ni] = append(fills[ni], p)
+			}
+		}
+	}
+	return fills
+}
+
+// Enumerate calls yield for each tuple of the represented relation, in
+// lexicographic order of Schema() — the columnar mirror of FRep.Enumerate.
+// The buffer passed to yield is reused; clone it to retain. Enumeration is
+// pure index arithmetic over the arena: no per-entry allocation.
+func (e *Enc) Enumerate(yield func(relation.Tuple) bool) {
+	if e.IsEmpty() {
+		return
+	}
+	it := NewEncIterator(e)
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// EncIterator enumerates the tuples of an encoded representation with
+// constant delay, as a resumable cursor: per node one absolute entry index
+// plus the bounds of its current union — an odometer over flat arrays. The
+// iterator is only valid while e is alive (Encs are immutable, so there is
+// no invalidation-by-mutation hazard).
+type EncIterator struct {
+	e      *Enc
+	schema relation.Schema
+	fills  [][]int
+	cur    []int32 // per node: current entry (absolute index into Vals)
+	lo, hi []int32 // per node: current union span
+	buf    relation.Tuple
+	done   bool
+	fresh  bool
+}
+
+// NewEncIterator prepares an iterator over e. Preparation is linear in the
+// number of f-tree nodes; each Next is amortised constant delay.
+func NewEncIterator(e *Enc) *EncIterator {
+	it := &EncIterator{e: e, schema: e.Schema()}
+	it.fills = encFillTable(e, it.schema)
+	it.buf = make(relation.Tuple, len(it.schema))
+	n := len(e.ti.nodes)
+	it.cur = make([]int32, n)
+	it.lo = make([]int32, n)
+	it.hi = make([]int32, n)
+	it.Reset()
+	return it
+}
+
+// Reset rewinds the iterator to the first tuple.
+func (it *EncIterator) Reset() {
+	it.done = it.e.IsEmpty()
+	it.fresh = !it.done
+	if it.done {
+		return
+	}
+	it.reseat(0)
+}
+
+// reseat recomputes union spans and first-entry cursors for nodes [from, n)
+// in pre-order: a node's union is 0 for roots, else its parent's current
+// entry (pre-order guarantees the parent is already seated).
+func (it *EncIterator) reseat(from int) {
+	e := it.e
+	for ni := from; ni < len(e.ti.nodes); ni++ {
+		u := 0
+		if p := e.ti.par[ni]; p >= 0 {
+			u = int(it.cur[p])
+		}
+		lo, hi := e.UnionSpan(ni, u)
+		it.lo[ni], it.hi[ni], it.cur[ni] = lo, hi, lo
+	}
+}
+
+// Next returns the next tuple, or ok = false when the enumeration is
+// exhausted. The returned slice is reused across calls; clone it to retain.
+func (it *EncIterator) Next() (t relation.Tuple, ok bool) {
+	if it.done {
+		return nil, false
+	}
+	from := 0
+	if it.fresh {
+		it.fresh = false
+	} else {
+		// Odometer: advance the deepest-rightmost node with entries left,
+		// reseat everything after it.
+		i := len(it.cur) - 1
+		for ; i >= 0; i-- {
+			if it.cur[i]+1 < it.hi[i] {
+				it.cur[i]++
+				it.reseat(i + 1)
+				break
+			}
+		}
+		if i < 0 {
+			it.done = true
+			return nil, false
+		}
+		from = i
+	}
+	for ni := from; ni < len(it.cur); ni++ {
+		v := it.e.Vals(ni)[it.cur[ni]]
+		for _, p := range it.fills[ni] {
+			it.buf[p] = v
+		}
+	}
+	return it.buf, true
+}
+
+// Schema returns the attribute order of the tuples produced by Next.
+func (it *EncIterator) Schema() relation.Schema { return it.schema }

@@ -1,0 +1,246 @@
+package frep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// quickFRep builds a random factorised representation (or nil when the
+// random relation does not factorise over the random tree).
+func quickFRep(seed int64) *FRep {
+	fr, err := FromRelation(quickTree(seed), quickRel(seed))
+	if err != nil {
+		return nil
+	}
+	return fr
+}
+
+// Property: Decode(Encode(f)) is structurally equal to f, and the encoded
+// form validates.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		fr := quickFRep(seed)
+		if fr == nil {
+			return true
+		}
+		e := fr.Encode()
+		if err := e.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		return e.Decode().Equal(fr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the encoded measures agree with the pointer measures.
+func TestQuickEncMeasures(t *testing.T) {
+	f := func(seed int64) bool {
+		fr := quickFRep(seed)
+		if fr == nil {
+			return true
+		}
+		e := fr.Encode()
+		return e.Count() == fr.Count() && e.Size() == fr.Size() &&
+			e.FlatSize() == fr.FlatSize() && e.IsEmpty() == fr.IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoded enumeration (push and pull) yields exactly the pointer
+// enumeration, in the same order.
+func TestQuickEncEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		fr := quickFRep(seed)
+		if fr == nil {
+			return true
+		}
+		e := fr.Encode()
+		var want []relation.Tuple
+		fr.Enumerate(func(tp relation.Tuple) bool {
+			want = append(want, tp.Clone())
+			return true
+		})
+		var got []relation.Tuple
+		e.Enumerate(func(tp relation.Tuple) bool {
+			got = append(got, tp.Clone())
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Compare(want[i]) != 0 {
+				return false
+			}
+		}
+		// Pull-based, twice (Reset in between).
+		it := NewEncIterator(e)
+		for pass := 0; pass < 2; pass++ {
+			i := 0
+			for {
+				tp, ok := it.Next()
+				if !ok {
+					break
+				}
+				if i >= len(want) || tp.Compare(want[i]) != 0 {
+					return false
+				}
+				i++
+			}
+			if i != len(want) {
+				return false
+			}
+			it.Reset()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoded aggregation agrees with pointer aggregation, grouped
+// and global.
+func TestQuickEncAggregate(t *testing.T) {
+	specs := []AggSpec{
+		{Fn: AggCount},
+		{Fn: AggSum, Attr: "B"},
+		{Fn: AggMin, Attr: "C"},
+		{Fn: AggMax, Attr: "B"},
+		{Fn: AggCountDistinct, Attr: "C"},
+	}
+	for _, groupBy := range [][]relation.Attribute{nil, {"A"}, {"A", "B"}} {
+		f := func(seed int64) bool {
+			fr := quickFRep(seed)
+			if fr == nil {
+				return true
+			}
+			e := fr.Encode()
+			want, err1 := fr.Aggregate(groupBy, specs)
+			got, err2 := e.Aggregate(groupBy, specs)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				return true
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				for k := range got[i].Key {
+					if got[i].Key[k] != want[i].Key[k] {
+						return false
+					}
+				}
+				for k := range got[i].Vals {
+					if got[i].Vals[k] != want[i].Vals[k] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("groupBy %v: %v", groupBy, err)
+		}
+	}
+}
+
+// The empty representation round-trips and behaves.
+func TestEncEmpty(t *testing.T) {
+	tr := ftree.New([]*ftree.Node{ftree.NewNode("A").Add(ftree.NewNode("B"))},
+		[]relation.AttrSet{relation.NewAttrSet("A", "B")})
+	e := NewEmptyEnc(tr)
+	if !e.IsEmpty() || e.Count() != 0 || e.Size() != 0 {
+		t.Fatalf("empty enc misbehaves: empty=%v count=%d size=%d", e.IsEmpty(), e.Count(), e.Size())
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fr := e.Decode()
+	if !fr.IsEmpty() {
+		t.Fatal("decoded empty enc is not empty")
+	}
+	if !fr.Encode().Equal(e) {
+		t.Fatal("empty enc does not round-trip")
+	}
+	n := 0
+	e.Enumerate(func(relation.Tuple) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("empty enc enumerated %d tuples", n)
+	}
+}
+
+// ConcatEnc mirrors the Cartesian product at the data level.
+func TestEncConcatProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(attr relation.Attribute, n int) *Enc {
+		r := relation.New("R", relation.Schema{attr})
+		for i := 0; i < n; i++ {
+			r.Append(relation.Value(rng.Intn(50)))
+		}
+		r.Dedup()
+		tr := ftree.New([]*ftree.Node{ftree.NewNode(attr)}, []relation.AttrSet{relation.NewAttrSet(attr)})
+		fr, err := FromRelation(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr.Encode()
+	}
+	a, b := mk("X", 8), mk("Y", 5)
+	tree := &ftree.T{
+		Roots:  append(append([]*ftree.Node{}, a.Tree.Roots...), b.Tree.Roots...),
+		Rels:   append(append([]relation.AttrSet{}, a.Tree.Rels...), b.Tree.Rels...),
+		Deps:   append(append([]relation.AttrSet{}, a.Tree.Deps...), b.Tree.Deps...),
+		Hidden: a.Tree.Hidden.Union(b.Tree.Hidden),
+		Consts: a.Tree.Consts.Union(b.Tree.Consts),
+	}
+	p := ConcatEnc(tree, a, b)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != a.Count()*b.Count() {
+		t.Fatalf("product count %d, want %d", p.Count(), a.Count()*b.Count())
+	}
+}
+
+// DropLeaf removes exactly one leaf column and keeps everything else.
+func TestEncDropLeaf(t *testing.T) {
+	fr := quickFRep(3)
+	for seed := int64(4); fr == nil; seed++ {
+		fr = quickFRep(seed)
+	}
+	e := fr.Encode()
+	// Find a leaf node index.
+	leaf := -1
+	var leafNode *ftree.Node
+	for ni := 0; ni < e.NodeCount(); ni++ {
+		if len(e.Kids(ni)) == 0 {
+			leaf, leafNode = ni, e.Node(ni)
+		}
+	}
+	if leaf < 0 {
+		t.Skip("no leaf")
+	}
+	nt := e.Tree // DropLeaf contract: tree already mutated by the caller
+	if err := nt.RemoveLeaf(leafNode); err != nil {
+		t.Fatal(err)
+	}
+	d := e.DropLeaf(nt, leaf)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NodeCount() != e.NodeCount()-1 {
+		t.Fatalf("node count %d, want %d", d.NodeCount(), e.NodeCount()-1)
+	}
+}

@@ -168,12 +168,16 @@ func countUnion(u *Union, n *ftree.Node) int64 {
 // Schema returns the visible attributes of the representation in canonical
 // enumeration order: depth-first over the f-tree, attributes within a node
 // in sorted order, roots left to right.
-func (f *FRep) Schema() relation.Schema {
+func (f *FRep) Schema() relation.Schema { return treeSchema(f.Tree) }
+
+// treeSchema is the canonical enumeration order shared by the pointer and
+// encoded forms.
+func treeSchema(t *ftree.T) relation.Schema {
 	var out relation.Schema
 	var walk func(n *ftree.Node)
 	walk = func(n *ftree.Node) {
 		for _, a := range n.Attrs {
-			if !f.Tree.Hidden.Has(a) {
+			if !t.Hidden.Has(a) {
 				out = append(out, a)
 			}
 		}
@@ -181,7 +185,7 @@ func (f *FRep) Schema() relation.Schema {
 			walk(c)
 		}
 	}
-	for _, r := range f.Tree.Roots {
+	for _, r := range t.Roots {
 		walk(r)
 	}
 	return out

@@ -9,6 +9,10 @@ import (
 // constant delay (Section 2: O(|E|) preparation, O(|S|) work per tuple),
 // as a resumable cursor — the pull-based counterpart of Enumerate. The
 // iterator is invalidated by any mutation of the representation.
+//
+// Cursors are recycled through a per-iterator free list, so steady-state
+// iteration allocates nothing: entering an entry reuses the cursors
+// released by the previous one.
 type Iterator struct {
 	f      *FRep
 	schema relation.Schema
@@ -17,6 +21,7 @@ type Iterator struct {
 	buf    relation.Tuple
 	done   bool
 	fresh  bool
+	free   []*unionCursor
 }
 
 // unionCursor walks one union: the current entry index plus cursors for
@@ -41,43 +46,63 @@ func NewIterator(f *FRep) *Iterator {
 		return it
 	}
 	for i, u := range f.Roots {
-		it.roots = append(it.roots, newUnionCursor(u, f.Tree.Roots[i]))
+		it.roots = append(it.roots, it.newCursor(u, f.Tree.Roots[i]))
 	}
 	it.fresh = true
 	return it
 }
 
-func newUnionCursor(u *Union, n *ftree.Node) *unionCursor {
-	c := &unionCursor{u: u, node: n}
-	c.enter()
+// newCursor takes a cursor from the free list (or allocates one) and seats
+// it on the first entry of u.
+func (it *Iterator) newCursor(u *Union, n *ftree.Node) *unionCursor {
+	var c *unionCursor
+	if k := len(it.free); k > 0 {
+		c, it.free = it.free[k-1], it.free[:k-1]
+	} else {
+		c = &unionCursor{}
+	}
+	c.u, c.node, c.idx = u, n, 0
+	it.enter(c)
 	return c
 }
 
+// release returns a cursor subtree to the free list.
+func (it *Iterator) release(c *unionCursor) {
+	for _, ch := range c.children {
+		it.release(ch)
+	}
+	c.children = c.children[:0]
+	it.free = append(it.free, c)
+}
+
 // enter (re)builds the child cursors for the current entry.
-func (c *unionCursor) enter() {
+func (it *Iterator) enter(c *unionCursor) {
+	for _, ch := range c.children {
+		it.release(ch)
+	}
 	e := &c.u.Entries[c.idx]
 	c.children = c.children[:0]
 	for j, cu := range e.Children {
-		c.children = append(c.children, newUnionCursor(cu, c.node.Children[j]))
+		c.children = append(c.children, it.newCursor(cu, c.node.Children[j]))
 	}
 }
 
 // advance moves the cursor to its next state; it returns false (and resets
 // to the first state) when the subtree wraps around.
-func (c *unionCursor) advance() bool {
+func (it *Iterator) advance(c *unionCursor) bool {
 	// Odometer over the children product, rightmost child fastest.
 	for j := len(c.children) - 1; j >= 0; j-- {
-		if c.children[j].advance() {
+		if it.advance(c.children[j]) {
 			return true
 		}
 	}
 	c.idx++
 	if c.idx < len(c.u.Entries) {
-		c.enter()
+		it.enter(c)
 		return true
 	}
 	c.idx = 0
-	c.enter()
+	it.enter(c)
 	return false
 }
 
@@ -105,7 +130,7 @@ func (it *Iterator) Next() (t relation.Tuple, ok bool) {
 	} else {
 		advanced := false
 		for j := len(it.roots) - 1; j >= 0; j-- {
-			if it.roots[j].advance() {
+			if it.advance(it.roots[j]) {
 				advanced = true
 				break
 			}
@@ -128,11 +153,14 @@ func (it *Iterator) Schema() relation.Schema { return it.schema }
 func (it *Iterator) Reset() {
 	it.done = it.f.IsEmpty()
 	it.fresh = !it.done
+	for _, rc := range it.roots {
+		it.release(rc)
+	}
 	it.roots = it.roots[:0]
 	if it.done {
 		return
 	}
 	for i, u := range it.f.Roots {
-		it.roots = append(it.roots, newUnionCursor(u, it.f.Tree.Roots[i]))
+		it.roots = append(it.roots, it.newCursor(u, it.f.Tree.Roots[i]))
 	}
 }

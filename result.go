@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/fplan"
 	"repro/internal/frep"
@@ -12,31 +13,38 @@ import (
 	"repro/internal/relation"
 )
 
-// Result is a factorised query result. Follow-up queries (Where, Select,
-// ProjectTo, Join) run directly on the factorised representation, using the
-// optimisers to pick cheap f-plans.
+// Result is a factorised query result, carried end-to-end in the
+// arena-backed columnar encoding (frep.Enc): enumeration, counting and
+// aggregation never materialise the pointer form. Follow-up queries
+// (Where, Select, ProjectTo, Join) run directly on the encoded
+// representation, using the optimisers to pick cheap f-plans.
 type Result struct {
 	db  *DB
-	rep *frep.FRep
+	enc *frep.Enc
+	// Lazily decoded pointer form for Rep(); results are otherwise
+	// immutable and shared freely across goroutines, so the decode is
+	// guarded.
+	repOnce sync.Once
+	rep     *frep.FRep
 }
 
 // Size returns the number of singletons (the paper's |E|).
-func (r *Result) Size() int { return r.rep.Size() }
+func (r *Result) Size() int { return r.enc.Size() }
 
 // Count returns the number of represented tuples.
-func (r *Result) Count() int64 { return r.rep.Count() }
+func (r *Result) Count() int64 { return r.enc.Count() }
 
 // Empty reports whether the result is the empty relation.
-func (r *Result) Empty() bool { return r.rep.IsEmpty() }
+func (r *Result) Empty() bool { return r.enc.IsEmpty() }
 
 // FlatSize returns Count() times the number of visible attributes: the
 // number of data elements a flat representation would hold. Like Count it
 // saturates at math.MaxInt64 instead of overflowing.
-func (r *Result) FlatSize() int64 { return r.rep.FlatSize() }
+func (r *Result) FlatSize() int64 { return r.enc.FlatSize() }
 
 // Schema lists the result attributes in enumeration order.
 func (r *Result) Schema() []string {
-	sch := r.rep.Schema()
+	sch := r.enc.Schema()
 	out := make([]string, len(sch))
 	for i, a := range sch {
 		out[i] = string(a)
@@ -45,18 +53,19 @@ func (r *Result) Schema() []string {
 }
 
 // FTree renders the result's factorisation tree.
-func (r *Result) FTree() string { return r.rep.Tree.String() }
+func (r *Result) FTree() string { return r.enc.Tree.String() }
 
 // String renders the factorised representation in the paper's notation,
-// decoding dictionary values.
-func (r *Result) String() string { return r.rep.StringDict(r.db.dict) }
+// decoding dictionary values (through the cached pointer form — rendering
+// is the one surface that wants the tree shape).
+func (r *Result) String() string { return r.Rep().StringDict(r.db.dict) }
 
 // Each enumerates the tuples (constant delay) as string-decoded rows until
-// fn returns false.
+// fn returns false. The row slice is reused between calls — clone it to
+// retain (Rows does).
 func (r *Result) Each(fn func(row []string) bool) {
-	sch := r.rep.Schema()
-	r.rep.Enumerate(func(t relation.Tuple) bool {
-		row := make([]string, len(sch))
+	row := make([]string, len(r.enc.Schema()))
+	r.enc.Enumerate(func(t relation.Tuple) bool {
 		for i, v := range t {
 			row[i] = r.db.dict.Decode(v)
 		}
@@ -74,63 +83,78 @@ func (r *Result) Rows(limit int) [][]string {
 	return out
 }
 
-// Rep exposes the underlying representation (advanced use: direct access to
-// the internal packages).
-func (r *Result) Rep() *frep.FRep { return r.rep }
+// Enc exposes the underlying encoded representation (advanced use: direct
+// access to the internal packages).
+func (r *Result) Enc() *frep.Enc { return r.enc }
+
+// Rep exposes the pointer form of the representation (advanced use). It is
+// decoded from the encoded form on first call and cached (safe for
+// concurrent callers); mutating it does not affect the result.
+func (r *Result) Rep() *frep.FRep {
+	r.repOnce.Do(func() { r.rep = r.enc.Decode() })
+	return r.rep
+}
 
 // Iter returns a resumable constant-delay iterator over the result's
 // tuples (raw values; use Each/Rows for dictionary-decoded output). The
-// iterator is invalidated if the result is consumed by further operators.
-func (r *Result) Iter() *frep.Iterator { return frep.NewIterator(r.rep) }
+// iterator walks the encoded columns directly and allocates nothing per
+// tuple.
+func (r *Result) Iter() *frep.EncIterator { return frep.NewEncIterator(r.enc) }
 
 // Where applies equality conditions to the factorised result: the engine
 // searches for an optimal f-plan (restructuring + merge/absorb operators)
-// and executes it. The receiver is unchanged; a new Result is returned.
+// and executes it on the encoded representation (encoded operators are
+// pure, so the receiver is unchanged; a new Result is returned).
 func (r *Result) Where(clauses ...Clause) (*Result, error) {
 	s, err := compileSpec(modeWhere, clauses)
 	if err != nil {
 		return nil, err
 	}
-	rep := r.rep.Clone()
+	enc := r.enc
 	// Constant selections first (cheapest, Section 4).
 	for _, sel := range s.sels {
 		v, err := r.db.encode(sel.val)
 		if err != nil {
 			return nil, err
 		}
-		if err := (fplan.SelectConst{A: sel.attr, Op: sel.op, C: v}).Apply(rep); err != nil {
+		enc, err = fplan.ApplyEnc(fplan.SelectConst{A: sel.attr, Op: sel.op, C: v}, enc)
+		if err != nil {
 			return nil, err
 		}
 	}
 	var conds []opt.Condition
 	for _, e := range s.eqs {
-		if rep.Tree.NodeOf(e.A) == nil || rep.Tree.NodeOf(e.B) == nil {
+		if enc.Tree.NodeOf(e.A) == nil || enc.Tree.NodeOf(e.B) == nil {
 			return nil, fmt.Errorf("fdb: condition %s=%s references attribute not in result", e.A, e.B)
 		}
-		if rep.Tree.NodeOf(e.A) != rep.Tree.NodeOf(e.B) {
+		if enc.Tree.NodeOf(e.A) != enc.Tree.NodeOf(e.B) {
 			conds = append(conds, opt.Condition{A: e.A, B: e.B})
 		}
 	}
 	if len(conds) > 0 {
-		res, err := opt.ExhaustivePlan(rep.Tree, conds, opt.PlanSearchOptions{})
+		res, err := opt.ExhaustivePlan(enc.Tree, conds, opt.PlanSearchOptions{})
 		if err != nil {
 			// Fall back to the greedy heuristic on large instances.
-			g, gerr := opt.GreedyPlan(rep.Tree, conds)
+			g, gerr := opt.GreedyPlan(enc.Tree, conds)
 			if gerr != nil {
 				return nil, err
 			}
 			res = g
 		}
-		if err := res.Plan.Execute(rep); err != nil {
-			return nil, err
+		for _, op := range res.Plan.Ops {
+			enc, err = fplan.ApplyEnc(op, enc)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if s.project != nil {
-		if err := (fplan.Project{Attrs: s.project}).Apply(rep); err != nil {
+		enc, err = fplan.ApplyEnc(fplan.Project{Attrs: s.project}, enc)
+		if err != nil {
 			return nil, err
 		}
 	}
-	return &Result{db: r.db, rep: rep}, nil
+	return &Result{db: r.db, enc: enc}, nil
 }
 
 // Join combines two factorised results over disjoint attributes and applies
@@ -145,11 +169,11 @@ func (r *Result) Join(other *Result, clauses ...Clause) (*Result, error) {
 	if r.db != other.db {
 		return nil, fmt.Errorf("fdb: Join across different DB instances: the dictionary encodings are incompatible")
 	}
-	prod, err := fplan.Product(r.rep, other.rep)
+	prod, err := fplan.ProductEnc(r.enc, other.enc)
 	if err != nil {
 		return nil, err
 	}
-	joined := &Result{db: r.db, rep: prod}
+	joined := &Result{db: r.db, enc: prod}
 	if len(clauses) == 0 {
 		return joined, nil
 	}
@@ -158,15 +182,15 @@ func (r *Result) Join(other *Result, clauses ...Clause) (*Result, error) {
 
 // ProjectTo projects the factorised result onto the given attributes.
 func (r *Result) ProjectTo(attrs ...string) (*Result, error) {
-	rep := r.rep.Clone()
 	var as []relation.Attribute
 	for _, a := range attrs {
 		as = append(as, relation.Attribute(a))
 	}
-	if err := (fplan.Project{Attrs: as}).Apply(rep); err != nil {
+	enc, err := fplan.ApplyEnc(fplan.Project{Attrs: as}, r.enc)
+	if err != nil {
 		return nil, err
 	}
-	return &Result{db: r.db, rep: rep}, nil
+	return &Result{db: r.db, enc: enc}, nil
 }
 
 // Table renders the enumerated result (up to limit rows) as an aligned

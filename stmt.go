@@ -237,7 +237,7 @@ func (st *Stmt) ExecContext(ctx context.Context, args ...NamedArg) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return &Result{db: st.db, rep: fr}, nil
+	return &Result{db: st.db, enc: fr}, nil
 }
 
 // ExecAgg runs a compiled aggregation statement (one with Agg clauses,
@@ -266,9 +266,10 @@ func (st *Stmt) ExecAggContext(ctx context.Context, args ...NamedArg) (*AggResul
 }
 
 // buildContext binds parameters and builds the statement's factorised
-// result: the shared evaluation path behind ExecContext and
+// result — straight into the arena-backed columnar encoding, never through
+// the pointer form: the shared evaluation path behind ExecContext and
 // ExecAggContext.
-func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.FRep, error) {
+func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, error) {
 	bound := make(map[string]relation.Value, len(args))
 	for _, a := range args {
 		known := false
@@ -321,15 +322,18 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.FRep, 
 		}
 	}
 
-	// Each Exec gets its own tree: downstream f-plan operators (projection,
-	// Result.Where) restructure it in place.
-	fr, err := fbuild.BuildContext(ctx, rels, st.tree.Clone())
+	// Each Exec gets its own tree: the encoded representation owns it, and
+	// downstream operators derive fresh trees from it.
+	fr, err := fbuild.BuildEncContext(ctx, rels, st.tree.Clone())
 	if err != nil {
 		return nil, err
 	}
 	if st.project != nil {
-		plan := fplan.Plan{Ops: []fplan.Op{fplan.Project{Attrs: st.project}}}
-		if err := plan.ExecuteContext(ctx, fr); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fr, err = fplan.ApplyEnc(fplan.Project{Attrs: st.project}, fr)
+		if err != nil {
 			return nil, err
 		}
 	}
