@@ -32,6 +32,7 @@ type spec struct {
 	project []relation.Attribute
 	groupBy []relation.Attribute
 	aggs    []frep.AggSpec
+	par     int // per-query parallelism override; 0 = inherit from the DB
 }
 
 // selSpec is one selection attr θ value; val is a Go constant (int, int64,
@@ -224,3 +225,25 @@ func (a aggClause) apply(s *spec) error {
 // aggregates are evaluated in one pass over the factorised representation,
 // never over the flat result.
 func Agg(fn AggFn, attr string) Clause { return aggClause{fn: fn, attr: attr} }
+
+type parClause int
+
+func (p parClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: WithParallelism is not allowed in Where/Join")
+	}
+	if p < 1 {
+		return fmt.Errorf("fdb: WithParallelism needs n >= 1, got %d", int(p))
+	}
+	if s.par != 0 {
+		return fmt.Errorf("fdb: WithParallelism given twice")
+	}
+	s.par = int(p)
+	return nil
+}
+
+// WithParallelism fixes the number of workers this query's execution
+// (factorisation build and aggregation) may use, overriding the database
+// default (SetParallelism, itself defaulting to runtime.GOMAXPROCS). n == 1
+// forces the serial code path; results are identical for every n.
+func WithParallelism(n int) Clause { return parClause(n) }

@@ -9,6 +9,7 @@
 //	fdbench -exp 5            # prepared statements vs ad-hoc queries
 //	fdbench -exp 6            # factorised aggregation vs enumerate-then-fold
 //	fdbench -exp 7            # arena-backed columnar encoding vs pointer form
+//	fdbench -exp 8            # morsel-parallel execution: speedup vs worker count
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-7; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-8; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -44,6 +46,7 @@ func main() {
 		exp5(*seed, *runs)
 		exp6(*seed, *runs)
 		exp7(*seed, *runs)
+		exp8(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -58,8 +61,10 @@ func main() {
 		exp6(*seed, *runs)
 	case 7:
 		exp7(*seed, *runs)
+	case 8:
+		exp8(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..7")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..8")
 		os.Exit(2)
 	}
 }
@@ -239,6 +244,66 @@ func exp7(seed int64, runs int) {
 			acc.BuildPtrMS/f, acc.BuildEncMS/f, x(acc.BuildPtrMS, acc.BuildEncMS),
 			acc.EnumPtrMS/f, acc.EnumEncMS/f, x(acc.EnumPtrMS, acc.EnumEncMS),
 			acc.AggPtrMS/f, acc.AggEncMS/f, x(acc.AggPtrMS, acc.AggEncMS))
+	}
+}
+
+func exp8(seed int64, runs int) {
+	fmt.Println("# Experiment 8: morsel-parallel execution — speedup vs worker count (same inputs, same lifted f-tree)")
+	fmt.Printf("# gomaxprocs=%d; speedups are relative to the 1-worker leg of each configuration\n", runtime.GOMAXPROCS(0))
+	fmt.Println("# workload scale workers frep_size flat_tuples build_ms build_x agg_ms agg_x enum_ms enum_x")
+	rng := rand.New(rand.NewSource(seed))
+	workers := []int{1, 2, 4, 8}
+	run := func(workload string, scale int, sweep func(*rand.Rand, bench.Exp8Config) ([]bench.Exp8Row, error)) {
+		acc := map[int]*bench.Exp8Row{}
+		n := 0
+		for i := 0; i < runs; i++ {
+			rows, err := sweep(rng, bench.Exp8Config{Scale: scale, Workers: workers, MaxEnum: 20_000_000})
+			if err != nil {
+				// The experiment doubles as the parallel-vs-serial parity
+				// check CI runs; its failure must fail the process.
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				os.Exit(1)
+			}
+			for i := range rows {
+				r := rows[i]
+				a, ok := acc[r.Workers]
+				if !ok {
+					acc[r.Workers] = &r
+					continue
+				}
+				a.FRepSize += r.FRepSize
+				a.Tuples += r.Tuples
+				a.BuildMS += r.BuildMS
+				a.AggMS += r.AggMS
+				a.EnumMS += r.EnumMS
+			}
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		f := float64(n)
+		base := acc[workers[0]]
+		x := func(b, cur float64) float64 {
+			if cur <= 0 {
+				return 0
+			}
+			return b / cur
+		}
+		for _, w := range workers {
+			r := acc[w]
+			fmt.Printf("%s %d %d %d %d %.3f %.2f %.3f %.2f %.3f %.2f\n",
+				workload, scale, w, r.FRepSize/int64(n), r.Tuples/int64(n),
+				r.BuildMS/f, x(base.BuildMS, r.BuildMS),
+				r.AggMS/f, x(base.AggMS, r.AggMS),
+				r.EnumMS/f, x(base.EnumMS, r.EnumMS))
+		}
+	}
+	for _, scale := range []int{2, 4, 8} {
+		run("retailer", scale, bench.Experiment8Retailer)
+	}
+	for _, length := range []int{4, 6, 8} {
+		run("chain", length, bench.Experiment8Chain)
 	}
 }
 

@@ -6,12 +6,16 @@
 //	fdgen -r 3 -a 9 -n 1000 -m 100 -dist zipf -out data/
 //
 // It also prints a ready-to-paste fdb invocation with K random
-// non-redundant equalities.
+// non-redundant equalities. All randomness flows from -seed (printed with
+// the output), so any generated dataset — including one that surfaced a bug
+// — reproduces exactly from that one number.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -21,37 +25,52 @@ import (
 )
 
 func main() {
-	r := flag.Int("r", 3, "number of relations")
-	a := flag.Int("a", 9, "number of attributes (spread evenly)")
-	n := flag.Int("n", 1000, "tuples per relation")
-	m := flag.Int("m", 100, "value domain [1, m]")
-	k := flag.Int("k", 2, "suggested number of join equalities")
-	dist := flag.String("dist", "uniform", "value distribution: uniform or zipf")
-	out := flag.String("out", ".", "output directory")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; that is a success
+		}
+		fmt.Fprintln(os.Stderr, "fdgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: parse flags from args, write the
+// dataset, print the summary to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fdgen", flag.ContinueOnError)
+	r := fs.Int("r", 3, "number of relations")
+	a := fs.Int("a", 9, "number of attributes (spread evenly)")
+	n := fs.Int("n", 1000, "tuples per relation")
+	m := fs.Int("m", 100, "value domain [1, m]")
+	k := fs.Int("k", 2, "suggested number of join equalities")
+	dist := fs.String("dist", "uniform", "value distribution: uniform or zipf")
+	outDir := fs.String("out", ".", "output directory")
+	seed := fs.Int64("seed", 1, "random seed (all output derives from it)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	d := gen.Uniform
 	if *dist == "zipf" {
 		d = gen.Zipf
 	} else if *dist != "uniform" {
-		fatal(fmt.Errorf("unknown distribution %q", *dist))
+		return fmt.Errorf("unknown distribution %q", *dist)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	sch, err := gen.RandomSchema(rng, *r, *a)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rels := sch.Populate(rng, *n, gen.NewSampler(rng, d, *m))
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
 	}
 	var loads []string
 	for _, rel := range rels {
-		path := filepath.Join(*out, strings.ToLower(rel.Name)+".tsv")
+		path := filepath.Join(*outDir, strings.ToLower(rel.Name)+".tsv")
 		f, err := os.Create(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(f, "%s", rel.Name)
 		for _, at := range rel.Schema {
@@ -70,25 +89,26 @@ func main() {
 			fmt.Fprintln(f)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		loads = append(loads, "-load "+path)
 	}
 	eqs, err := gen.RandomEqualities(rng, sch, *k)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var names []string
 	for _, rel := range rels {
 		names = append(names, rel.Name)
 	}
-	fmt.Printf("wrote %d relations to %s\n", len(rels), *out)
-	fmt.Printf("suggested query:\n  fdb %s -from %s", strings.Join(loads, " "), strings.Join(names, ","))
+	fmt.Fprintf(out, "wrote %d relations to %s (seed %d)\n", len(rels), *outDir, *seed)
+	fmt.Fprintf(out, "suggested query:\n  fdb %s -from %s", strings.Join(loads, " "), strings.Join(names, ","))
 	for _, e := range eqs {
 		// Qualify with relation names for the fdb loader.
-		fmt.Printf(" -eq %s=%s", qualify(sch, string(e.A)), qualify(sch, string(e.B)))
+		fmt.Fprintf(out, " -eq %s=%s", qualify(sch, string(e.A)), qualify(sch, string(e.B)))
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+	return nil
 }
 
 func qualify(s *gen.Schema, attr string) string {
@@ -100,9 +120,4 @@ func qualify(s *gen.Schema, attr string) string {
 		}
 	}
 	return attr
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fdgen:", err)
-	os.Exit(1)
 }

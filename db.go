@@ -2,8 +2,10 @@ package fdb
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/csvio"
@@ -21,6 +23,10 @@ type DB struct {
 	ord   []string
 	vers  map[string]uint64 // per-relation data version, for cache validity
 	cache *planCache
+	// par is the database-wide execution parallelism; 0 means "default",
+	// resolved to runtime.GOMAXPROCS(0) at execution time. Read atomically
+	// so Exec never contends with SetParallelism.
+	par atomic.Int32
 }
 
 // New returns an empty database.
@@ -283,6 +289,12 @@ func (db *DB) fingerprint(s *spec) (string, map[string]uint64, error) {
 		q.Selections = append(q.Selections, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
 	}
 	key := q.Fingerprint()
+	// A per-query parallelism override is carried on the compiled statement,
+	// so it is part of the plan identity (the tree itself is unaffected, but
+	// a cached plan must not leak one query's override into another).
+	if s.par > 0 {
+		key = fmt.Sprintf("%s|par %d", key, s.par)
+	}
 	// Aggregation restructures the compiled tree (group attributes lifted),
 	// so grouping and aggregate list are part of the plan identity.
 	if len(s.aggs) > 0 {
@@ -310,6 +322,27 @@ func (db *DB) CacheStats() CacheStats { return db.cache.stats() }
 // SetPlanCacheCapacity resizes the plan cache (default 64 entries); 0
 // disables caching. Counters are preserved.
 func (db *DB) SetPlanCacheCapacity(n int) { db.cache.resize(n) }
+
+// SetParallelism sets the database-wide execution parallelism: the number
+// of workers query execution (factorisation build and aggregation) may use.
+// n == 1 forces the serial code path; n <= 0 restores the default
+// (runtime.GOMAXPROCS at execution time). Per-query WithParallelism clauses
+// override this setting. Safe to call concurrently with running queries —
+// each execution reads the value once when it starts.
+func (db *DB) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.par.Store(int32(n))
+}
+
+// Parallelism returns the parallelism executions currently resolve to.
+func (db *DB) Parallelism() int {
+	if p := int(db.par.Load()); p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // encode turns a Go value into an engine Value. The dictionary is
 // internally synchronised, so encode is safe under either DB lock.

@@ -8,11 +8,14 @@ package fdb_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	fdb "repro"
 	"repro/internal/bench"
+	"repro/internal/fbuild"
 	"repro/internal/frep"
+	"repro/internal/ftree"
 	"repro/internal/relation"
 )
 
@@ -83,6 +86,11 @@ func BenchmarkExecPrepared(b *testing.B) {
 	for i := 0; i < 200; i++ {
 		db.MustInsert("Disp", i%120, rng.Intn(40))
 	}
+	// This benchmark regression-tracks the serial per-exec path against the
+	// committed baseline; the morsel-parallel path (whose profile depends on
+	// the runner's core count) is measured by BenchmarkBuildParallelRetailer
+	// and BenchmarkAggregateParallelRetailer instead.
+	db.SetParallelism(1)
 	st, err := db.Prepare(
 		fdb.From("Orders", "Stock", "Disp"),
 		fdb.Eq("Orders.item", "Stock.item"),
@@ -125,6 +133,57 @@ func BenchmarkAggregateEnumFold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := bench.FoldAggregate(fr, groupBy, specs)
+		benchSink = int64(len(rows))
+	}
+}
+
+// parallelBuildSetup prepares the retailer inputs the way Stmt.Exec sees
+// them: lifted tree, relations pre-sorted in path order.
+func parallelBuildSetup(b *testing.B) ([]*relation.Relation, *ftree.T) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	q := bench.RetailerQuery(rng, 2)
+	fr, err := bench.BuildRep(q, []relation.Attribute{"s_location"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := fr.Tree
+	if err := fbuild.SortFor(q.Relations, tr); err != nil {
+		b.Fatal(err)
+	}
+	return q.Relations, tr
+}
+
+// BenchmarkBuildParallelRetailer tracks the morsel-parallel encoded build
+// at GOMAXPROCS workers (Experiment 8); on a single-core runner it measures
+// the partitioning + stitching overhead over BenchmarkBuildRetailer's
+// serial path.
+func BenchmarkBuildParallelRetailer(b *testing.B) {
+	rels, tr := parallelBuildSetup(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := fbuild.BuildEncParallel(rels, tr.Clone(), workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = int64(fr.NodeCount())
+	}
+}
+
+// BenchmarkAggregateParallelRetailer tracks the chunked parallel grouped
+// aggregation at GOMAXPROCS workers (Experiment 8).
+func BenchmarkAggregateParallelRetailer(b *testing.B) {
+	fr, groupBy, specs := retailerAggSetup(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := fr.AggregateParallel(groupBy, specs, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
 		benchSink = int64(len(rows))
 	}
 }

@@ -1,6 +1,9 @@
 package frep
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/relation"
 )
 
@@ -53,15 +56,35 @@ type EncIterator struct {
 	fills  [][]int
 	cur    []int32 // per node: current entry (absolute index into Vals)
 	lo, hi []int32 // per node: current union span
-	buf    relation.Tuple
-	done   bool
-	fresh  bool
+	// rlo, rhi restrict the first pre-order node's (first root's) union to
+	// entries [rlo, rhi) — the sharding hook for parallel enumeration. A
+	// full iterator spans the whole union.
+	rlo, rhi int32
+	buf      relation.Tuple
+	done     bool
+	fresh    bool
 }
 
 // NewEncIterator prepares an iterator over e. Preparation is linear in the
 // number of f-tree nodes; each Next is amortised constant delay.
 func NewEncIterator(e *Enc) *EncIterator {
-	it := &EncIterator{e: e, schema: e.Schema()}
+	return NewEncIteratorRange(e, 0, int32(e.NumEntries(0)))
+}
+
+// NewEncIteratorRange prepares an iterator over the tuples whose first-root
+// entry lies in [lo, hi) — a contiguous slice of the enumeration order,
+// since the first root is the most significant digit of the odometer.
+// Concatenating the ranges [0,a), [a,b), …, [z,N) reproduces the full
+// enumeration exactly; disjoint ranges can be walked concurrently (the
+// iterators share only the immutable e).
+func NewEncIteratorRange(e *Enc, lo, hi int32) *EncIterator {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := int32(e.NumEntries(0)); hi > n {
+		hi = n
+	}
+	it := &EncIterator{e: e, schema: e.Schema(), rlo: lo, rhi: hi}
 	it.fills = encFillTable(e, it.schema)
 	it.buf = make(relation.Tuple, len(it.schema))
 	n := len(e.ti.nodes)
@@ -72,9 +95,9 @@ func NewEncIterator(e *Enc) *EncIterator {
 	return it
 }
 
-// Reset rewinds the iterator to the first tuple.
+// Reset rewinds the iterator to the first tuple of its range.
 func (it *EncIterator) Reset() {
-	it.done = it.e.IsEmpty()
+	it.done = it.e.IsEmpty() || it.rlo >= it.rhi
 	it.fresh = !it.done
 	if it.done {
 		return
@@ -84,7 +107,8 @@ func (it *EncIterator) Reset() {
 
 // reseat recomputes union spans and first-entry cursors for nodes [from, n)
 // in pre-order: a node's union is 0 for roots, else its parent's current
-// entry (pre-order guarantees the parent is already seated).
+// entry (pre-order guarantees the parent is already seated). Node 0 — the
+// first root — is clamped to the iterator's range.
 func (it *EncIterator) reseat(from int) {
 	e := it.e
 	for ni := from; ni < len(e.ti.nodes); ni++ {
@@ -93,6 +117,9 @@ func (it *EncIterator) reseat(from int) {
 			u = int(it.cur[p])
 		}
 		lo, hi := e.UnionSpan(ni, u)
+		if ni == 0 {
+			lo, hi = it.rlo, it.rhi
+		}
 		it.lo[ni], it.hi[ni], it.cur[ni] = lo, hi, lo
 	}
 }
@@ -134,3 +161,56 @@ func (it *EncIterator) Next() (t relation.Tuple, ok bool) {
 
 // Schema returns the attribute order of the tuples produced by Next.
 func (it *EncIterator) Schema() relation.Schema { return it.schema }
+
+// EnumerateShards splits the enumeration into n resumable iterators over
+// contiguous ranges of the first root's union, in enumeration order:
+// walking shard 0, then 1, … reproduces Enumerate exactly, and disjoint
+// shards are safe to drain concurrently. Shards past the available entries
+// come back immediately exhausted, so callers may spawn one worker each
+// without counting first.
+func (e *Enc) EnumerateShards(n int) []*EncIterator {
+	if n < 1 {
+		n = 1
+	}
+	total := int32(e.NumEntries(0))
+	if e.IsEmpty() {
+		total = 0
+	}
+	out := make([]*EncIterator, n)
+	for i := range out {
+		out[i] = NewEncIteratorRange(e, chunkBound(total, i, n), chunkBound(total, i+1, n))
+	}
+	return out
+}
+
+// EnumerateParallel drains p shards with p goroutines, calling yield from
+// each worker with the shard index and the reused per-shard tuple buffer
+// (clone to retain). yield must be safe for concurrent calls; returning
+// false stops every worker promptly. Tuples arrive in enumeration order
+// within a shard, interleaved across shards.
+func (e *Enc) EnumerateParallel(p int, yield func(shard int, t relation.Tuple) bool) {
+	if p <= 1 {
+		e.Enumerate(func(t relation.Tuple) bool { return yield(0, t) })
+		return
+	}
+	shards := e.EnumerateShards(p)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i, it := range shards {
+		wg.Add(1)
+		go func(i int, it *EncIterator) {
+			defer wg.Done()
+			for !stop.Load() {
+				t, ok := it.Next()
+				if !ok {
+					return
+				}
+				if !yield(i, t) {
+					stop.Store(true)
+					return
+				}
+			}
+		}(i, it)
+	}
+	wg.Wait()
+}

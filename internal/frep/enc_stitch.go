@@ -1,0 +1,92 @@
+// Stitching of per-morsel encoded builds into one representation — the
+// reassembly half of the parallel build. A morsel build covers a contiguous
+// value range of one root's union; because the arena layout keeps every
+// subtree fragment contiguous (child union k ⇔ parent entry k), the columns
+// of consecutive morsels concatenate into valid columns by bulk copy, with
+// only the union offsets rebased by the entry counts of preceding morsels.
+package frep
+
+import (
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// Entries returns the number of entry values appended so far at node ni —
+// used by the parallel build driver to size and validate morsel outputs
+// without finishing the builder.
+func (b *EncBuilder) Entries(ni int) int { return len(b.vals[ni]) }
+
+// StitchEnc assembles one encoded representation over t from per-morsel
+// builders. Each part must have been built with NewEncBuilder(t) and hold
+// exactly one closed union at the pivot root, covering a value range
+// strictly below the ranges of all later parts; columns outside the pivot
+// root's subtree are taken from rest (one builder covering the remaining
+// roots; nil when pivot is the only root). The parts' columns are
+// concatenated directly into a single fresh arena — per node one bulk copy
+// per part — and the union offsets of descendant nodes are rebased by the
+// cumulative entry counts of the preceding parts. At the pivot root itself
+// the parts' single unions fuse into one union spanning all entries.
+//
+// Emptiness follows the same convention as BuildEnc: if any root union ends
+// up without entries the canonical empty representation is returned.
+func StitchEnc(t *ftree.T, pivot *ftree.Node, parts []*EncBuilder, rest *EncBuilder) *Enc {
+	ti := parts[0].ti
+	pi := ti.idx[pivot]
+	plo, phi := pi, ti.sub[pi]
+
+	// Pre-size the arena: one pass over the column lengths.
+	totalV, totalO := 0, 0
+	for ni := range ti.nodes {
+		if ni >= plo && ni < phi {
+			totalO++ // shared leading 0
+			for _, p := range parts {
+				totalV += len(p.vals[ni])
+				totalO += len(p.offs[ni]) - 1
+			}
+			if ni == pi {
+				totalO = totalO - len(parts) + 1 // unions fuse into one
+			}
+		} else {
+			totalV += len(rest.vals[ni])
+			totalO += len(rest.offs[ni])
+		}
+	}
+
+	e := &Enc{Tree: t, ti: ti,
+		A:    Arena{Vals: make([]relation.Value, 0, totalV), Offs: make([]int32, 0, totalO)},
+		cols: make([]nodeCol, len(ti.nodes))}
+	for ni := range ti.nodes {
+		vlo, olo := i32(len(e.A.Vals)), i32(len(e.A.Offs))
+		switch {
+		case ni == pi:
+			// The parts' root unions fuse into the single union of the root.
+			e.A.Offs = append(e.A.Offs, 0)
+			for _, p := range parts {
+				e.A.Vals = append(e.A.Vals, p.vals[ni]...)
+			}
+			e.A.Offs = append(e.A.Offs, i32(len(e.A.Vals))-vlo)
+		case ni > plo && ni < phi:
+			// Descendant of the pivot: concatenate unions, rebasing offsets
+			// by the entries contributed by earlier parts.
+			e.A.Offs = append(e.A.Offs, 0)
+			base := int32(0)
+			for _, p := range parts {
+				e.A.Vals = append(e.A.Vals, p.vals[ni]...)
+				for _, o := range p.offs[ni][1:] {
+					e.A.Offs = append(e.A.Offs, base+o)
+				}
+				base += i32(len(p.vals[ni]))
+			}
+		default:
+			e.A.Vals = append(e.A.Vals, rest.vals[ni]...)
+			e.A.Offs = append(e.A.Offs, rest.offs[ni]...)
+		}
+		e.cols[ni] = nodeCol{valLo: vlo, valHi: i32(len(e.A.Vals)), offLo: olo, offHi: i32(len(e.A.Offs))}
+	}
+	for _, ri := range ti.roots {
+		if e.NumEntries(ri) == 0 {
+			return NewEmptyEnc(t)
+		}
+	}
+	return e
+}

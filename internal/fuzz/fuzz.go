@@ -1,0 +1,363 @@
+// Package fuzz is the differential testing harness of the engine: it
+// derives a complete random query workload from a single seed — schema and
+// data via internal/gen, a conjunctive equality join, constant selections,
+// and either a projection or a group-by aggregation — runs it through the
+// public fdb surface at a chosen execution parallelism, and checks the
+// result tuple-for-tuple (or aggregate-row-for-row) against the flat
+// internal/rdb oracle. Every failure message leads with the seed, so any
+// mismatch found by the randomised tests or by `go test -fuzz` reproduces
+// with Check(seed, p) alone.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	fdb "repro"
+	"repro/internal/core"
+	"repro/internal/frep"
+	"repro/internal/gen"
+	"repro/internal/rdb"
+	"repro/internal/relation"
+)
+
+// maxOracleTuples caps the flat result the oracle is asked to materialise;
+// the generator's sizes keep real cases far below it, so hitting the cap
+// skips the case rather than failing it.
+const maxOracleTuples = 500_000
+
+// Case is one derived differential test case. All randomness comes from the
+// seed; two Cases with the same seed are identical.
+type Case struct {
+	Seed    int64
+	rels    []*relation.Relation // qualified-schema inputs for the oracle
+	names   []string             // relation names, creation order
+	bare    map[string][]string  // relation name -> bare attribute names
+	eqs     []core.Equality      // qualified
+	sels    []core.ConstSel      // qualified
+	project []relation.Attribute // qualified; nil when aggregating or keeping all
+	groupBy []relation.Attribute // qualified; aggregation cases only
+	aggs    []frep.AggSpec       // non-empty for aggregation cases
+}
+
+// NewCase derives a case from the seed.
+func NewCase(seed int64) (*Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Case{Seed: seed, bare: map[string][]string{}}
+
+	r := 2 + rng.Intn(2)           // 2..3 relations
+	a := r + rng.Intn(5)           // r..r+4 attributes
+	n := 5 + rng.Intn(40)          // tuples per relation
+	m := 2 + rng.Intn(10)          // value domain [1, m]
+	k := 1 + rng.Intn(min(a-1, 3)) // join equalities
+	dist := gen.Uniform
+	if rng.Intn(3) == 0 {
+		dist = gen.Zipf
+	}
+
+	sch, err := gen.RandomSchema(rng, r, a)
+	if err != nil {
+		return nil, err
+	}
+	eqs, err := gen.RandomEqualities(rng, sch, k)
+	if err != nil {
+		return nil, err
+	}
+	rels := sch.Populate(rng, n, gen.NewSampler(rng, dist, m))
+
+	// Qualify every attribute as "Rel.attr" — the names the fdb surface
+	// gives them — so the oracle query and the fdb query read identically.
+	owner := map[relation.Attribute]relation.Attribute{}
+	for _, rel := range rels {
+		qual := make(relation.Schema, len(rel.Schema))
+		for j, attr := range rel.Schema {
+			q := relation.Attribute(rel.Name + "." + string(attr))
+			owner[attr] = q
+			qual[j] = q
+			c.bare[rel.Name] = append(c.bare[rel.Name], string(attr))
+		}
+		rel.Schema = qual
+		c.names = append(c.names, rel.Name)
+	}
+	c.rels = rels
+	for _, e := range eqs {
+		c.eqs = append(c.eqs, core.Equality{A: owner[e.A], B: owner[e.B]})
+	}
+
+	var attrs []relation.Attribute
+	for _, rel := range rels {
+		attrs = append(attrs, rel.Schema...)
+	}
+
+	// Constant selections: 0-2, any operator, values around the domain.
+	ops := []fdb.CmpOp{fdb.EQ, fdb.NE, fdb.LT, fdb.LE, fdb.GT, fdb.GE}
+	for i := rng.Intn(3); i > 0; i-- {
+		c.sels = append(c.sels, core.ConstSel{
+			A:  attrs[rng.Intn(len(attrs))],
+			Op: ops[rng.Intn(len(ops))],
+			C:  relation.Value(1 + rng.Intn(m)),
+		})
+	}
+
+	// Query shape: plain (possibly projected) or aggregation.
+	if rng.Intn(5) < 2 {
+		// Aggregation: 0-2 group-by attributes, 1-3 aggregates.
+		perm := rng.Perm(len(attrs))
+		for i := rng.Intn(3); i > 0 && len(c.groupBy) < len(attrs); i-- {
+			c.groupBy = append(c.groupBy, attrs[perm[len(c.groupBy)]])
+		}
+		fns := []frep.AggFunc{frep.AggCount, frep.AggSum, frep.AggMin, frep.AggMax, frep.AggCountDistinct}
+		for i := 1 + rng.Intn(3); i > 0; i-- {
+			fn := fns[rng.Intn(len(fns))]
+			spec := frep.AggSpec{Fn: fn}
+			if fn != frep.AggCount {
+				spec.Attr = attrs[rng.Intn(len(attrs))]
+			}
+			c.aggs = append(c.aggs, spec)
+		}
+	} else if rng.Intn(2) == 0 {
+		// Projection onto a random non-empty subset, random order.
+		perm := rng.Perm(len(attrs))
+		keep := 1 + rng.Intn(len(attrs))
+		for _, i := range perm[:keep] {
+			c.project = append(c.project, attrs[i])
+		}
+	}
+	return c, nil
+}
+
+// Check derives the case for seed and runs it at the given parallelism,
+// returning a seed-stamped error on any divergence from the oracle.
+func Check(seed int64, parallelism int) error {
+	c, err := NewCase(seed)
+	if err != nil {
+		return fmt.Errorf("fuzz: seed %d: generate: %v", seed, err)
+	}
+	return c.Run(parallelism)
+}
+
+// Run executes the case at the given parallelism against a fresh database.
+func (c *Case) Run(parallelism int) error {
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("fuzz: seed %d (p=%d): %s", c.Seed, parallelism, fmt.Sprintf(format, args...))
+	}
+
+	db := fdb.New()
+	db.SetParallelism(parallelism)
+	for _, rel := range c.rels {
+		if err := db.Create(rel.Name, c.bare[rel.Name]...); err != nil {
+			return fail("create: %v", err)
+		}
+		for _, t := range rel.Tuples {
+			vals := make([]interface{}, len(t))
+			for i, v := range t {
+				vals[i] = int64(v)
+			}
+			if err := db.Insert(rel.Name, vals...); err != nil {
+				return fail("insert: %v", err)
+			}
+		}
+	}
+
+	clauses := []fdb.Clause{fdb.From(c.names...)}
+	for _, e := range c.eqs {
+		clauses = append(clauses, fdb.Eq(string(e.A), string(e.B)))
+	}
+	for _, s := range c.sels {
+		clauses = append(clauses, fdb.Cmp(string(s.A), s.Op, int64(s.C)))
+	}
+
+	// Oracle: the flat relational engine on the same qualified query.
+	oq := &core.Query{Equalities: c.eqs, Selections: c.sels}
+	for _, rel := range c.rels {
+		oq.Relations = append(oq.Relations, rel.Clone())
+	}
+	ores, err := rdb.Evaluate(oq, rdb.Options{Materialize: true, MaxTuples: maxOracleTuples})
+	if err != nil {
+		return fail("oracle: %v", err)
+	}
+	if ores.TimedOut || ores.Relation == nil {
+		return nil // flat result past the cap: not this harness's business
+	}
+	flat := ores.Relation
+
+	if len(c.aggs) > 0 {
+		return c.checkAgg(db, clauses, flat, fail)
+	}
+	return c.checkPlain(db, clauses, flat, fail)
+}
+
+// checkPlain compares the enumerated factorised result with the flat oracle
+// as sorted tuple sets (and the factorised count with the exact set size).
+func (c *Case) checkPlain(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relation, fail func(string, ...interface{}) error) error {
+	if c.project != nil {
+		ps := make([]string, len(c.project))
+		for i, a := range c.project {
+			ps[i] = string(a)
+		}
+		clauses = append(clauses, fdb.Project(ps...))
+	}
+	res, err := db.Query(clauses...)
+	if err != nil {
+		return fail("query: %v", err)
+	}
+
+	want := flat
+	if c.project != nil {
+		want = flat.Project(c.project) // set semantics, like the engine
+	}
+	gotSchema := make(relation.Schema, 0, len(res.Schema()))
+	for _, a := range res.Schema() {
+		gotSchema = append(gotSchema, relation.Attribute(a))
+	}
+	got := relation.New("got", gotSchema)
+	it := res.Iter()
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		got.AppendTuple(t.Clone())
+	}
+	if int64(got.Cardinality()) != res.Count() {
+		return fail("enumerated %d tuples but Count() = %d", got.Cardinality(), res.Count())
+	}
+	if got.Cardinality() != want.Cardinality() {
+		return fail("result has %d tuples, oracle %d", got.Cardinality(), want.Cardinality())
+	}
+	if !got.Equal(want.Project(gotSchema)) {
+		return fail("result tuples differ from oracle\nfdb:\n%s\noracle:\n%s", got, want)
+	}
+	return nil
+}
+
+// checkAgg compares QueryAgg rows against a straight fold over the flat
+// oracle result.
+func (c *Case) checkAgg(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relation, fail func(string, ...interface{}) error) error {
+	if len(c.groupBy) > 0 {
+		gs := make([]string, len(c.groupBy))
+		for i, a := range c.groupBy {
+			gs[i] = string(a)
+		}
+		clauses = append(clauses, fdb.GroupBy(gs...))
+	}
+	for _, s := range c.aggs {
+		clauses = append(clauses, fdb.Agg(s.Fn, string(s.Attr)))
+	}
+	res, err := db.QueryAgg(clauses...)
+	if err != nil {
+		return fail("queryagg: %v", err)
+	}
+	want := flatAggregate(flat, c.groupBy, c.aggs)
+	if res.Len() != len(want) {
+		return fail("aggregation has %d groups, oracle %d", res.Len(), len(want))
+	}
+	for i, w := range want {
+		key := res.Key(i)
+		for j, kv := range w.Key {
+			if key[j] != strconv.FormatInt(int64(kv), 10) {
+				return fail("group %d key %v, oracle key %v", i, key, w.Key)
+			}
+		}
+		for j, wv := range w.Vals {
+			if got := res.Value(i, j); got != wv {
+				return fail("group %d (%v) aggregate %d = %d, oracle %d", i, w.Key, j, got, wv)
+			}
+		}
+	}
+	return nil
+}
+
+// flatAggregate folds the aggregates over the flat oracle result — the
+// reference semantics for checkAgg. Rows come back sorted by group key,
+// matching frep's order.
+func flatAggregate(rel *relation.Relation, groupBy []relation.Attribute, specs []frep.AggSpec) []frep.AggRow {
+	gcols := make([]int, len(groupBy))
+	for i, a := range groupBy {
+		gcols[i] = rel.Schema.Index(a)
+	}
+	acols := make([]int, len(specs))
+	for i, s := range specs {
+		if s.Fn != frep.AggCount {
+			acols[i] = rel.Schema.Index(s.Attr)
+		}
+	}
+	type state struct {
+		key  []relation.Value
+		cnt  int64
+		sum  []int64
+		m    []int64
+		mSet []bool
+		dist []map[relation.Value]struct{}
+	}
+	groups := map[string]*state{}
+	for _, t := range rel.Tuples {
+		kb := make([]byte, 0, 16*len(groupBy))
+		for _, c := range gcols {
+			kb = strconv.AppendInt(kb, int64(t[c]), 10)
+			kb = append(kb, '|')
+		}
+		k := string(kb)
+		s, ok := groups[k]
+		if !ok {
+			s = &state{
+				key: make([]relation.Value, len(groupBy)), sum: make([]int64, len(specs)),
+				m: make([]int64, len(specs)), mSet: make([]bool, len(specs)),
+				dist: make([]map[relation.Value]struct{}, len(specs)),
+			}
+			for i, c := range gcols {
+				s.key[i] = t[c]
+			}
+			groups[k] = s
+		}
+		s.cnt++
+		for i, sp := range specs {
+			switch sp.Fn {
+			case frep.AggCount:
+			case frep.AggSum:
+				s.sum[i] += int64(t[acols[i]])
+			case frep.AggMin:
+				if v := int64(t[acols[i]]); !s.mSet[i] || v < s.m[i] {
+					s.m[i], s.mSet[i] = v, true
+				}
+			case frep.AggMax:
+				if v := int64(t[acols[i]]); !s.mSet[i] || v > s.m[i] {
+					s.m[i], s.mSet[i] = v, true
+				}
+			case frep.AggCountDistinct:
+				if s.dist[i] == nil {
+					s.dist[i] = map[relation.Value]struct{}{}
+				}
+				s.dist[i][t[acols[i]]] = struct{}{}
+			}
+		}
+	}
+	rows := make([]frep.AggRow, 0, len(groups))
+	for _, s := range groups {
+		row := frep.AggRow{Key: s.key, Vals: make([]int64, len(specs))}
+		for i, sp := range specs {
+			switch sp.Fn {
+			case frep.AggCount:
+				row.Vals[i] = s.cnt
+			case frep.AggSum:
+				row.Vals[i] = s.sum[i]
+			case frep.AggMin, frep.AggMax:
+				row.Vals[i] = s.m[i]
+			case frep.AggCountDistinct:
+				row.Vals[i] = int64(len(s.dist[i]))
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i].Key {
+			if rows[i].Key[k] != rows[j].Key[k] {
+				return rows[i].Key[k] < rows[j].Key[k]
+			}
+		}
+		return false
+	})
+	return rows
+}

@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"runtime"
+	"testing"
+)
+
+// parallelisms returns the worker counts every case runs at: the serial
+// path and P=GOMAXPROCS, plus a forced multi-worker leg when GOMAXPROCS is
+// too small to exercise the parallel code at all.
+func parallelisms() []int {
+	ps := []int{1, runtime.GOMAXPROCS(0)}
+	if runtime.GOMAXPROCS(0) < 4 {
+		ps = append(ps, 4)
+	}
+	return ps
+}
+
+// TestDifferential runs the differential harness over a block of seeds —
+// at least 500 random queries per full package run, each checked at P=1
+// and P=GOMAXPROCS. Failures reproduce with fuzz.Check(seed, p).
+func TestDifferential(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 60
+	}
+	ps := parallelisms()
+	queries := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, p := range ps {
+			if err := Check(seed, p); err != nil {
+				t.Fatal(err)
+			}
+			queries++
+		}
+	}
+	t.Logf("fuzz: %d queries checked (%d seeds × %d parallelism legs)", queries, seeds, len(ps))
+}
+
+// TestCaseDeterminism: the same seed derives the same case — the property
+// the printed-seed reproduction workflow relies on.
+func TestCaseDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, err := NewCase(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewCase(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.rels) != len(b.rels) || len(a.eqs) != len(b.eqs) ||
+			len(a.sels) != len(b.sels) || len(a.aggs) != len(b.aggs) {
+			t.Fatalf("seed %d: case shape differs between derivations", seed)
+		}
+		for i := range a.rels {
+			if !a.rels[i].Equal(b.rels[i]) {
+				t.Fatalf("seed %d: relation %s differs between derivations", seed, a.rels[i].Name)
+			}
+		}
+	}
+}
+
+// FuzzDifferential is the `go test -fuzz` entry point: the fuzzer mutates
+// the seed (and a parallelism byte), the corpus seeds come from the block
+// the deterministic test covers.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(2), uint8(2))
+	f.Add(int64(42), uint8(4))
+	f.Add(int64(500), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, p uint8) {
+		workers := int(p%8) + 1
+		if err := Check(seed, workers); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -168,3 +168,40 @@ func TestCombinatorialQuery(t *testing.T) {
 		t.Fatalf("A = %d, want 10", len(q.Attributes()))
 	}
 }
+
+// TestRandomQueryDeterministic: every generator is a pure function of its
+// rng — the same seed derives the same schema, data and equalities. The
+// differential fuzz harness (internal/fuzz) and cmd/fdgen rely on this to
+// reproduce failures from a printed seed alone.
+func TestRandomQueryDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, dist := range []Distribution{Uniform, Zipf} {
+			qa, err := RandomQuery(rand.New(rand.NewSource(seed)), 3, 7, 25, 2, dist, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qb, err := RandomQuery(rand.New(rand.NewSource(seed)), 3, 7, 25, 2, dist, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(qa.Relations) != len(qb.Relations) {
+				t.Fatalf("seed %d (%s): relation counts differ", seed, dist)
+			}
+			for i := range qa.Relations {
+				if !qa.Relations[i].Equal(qb.Relations[i]) {
+					t.Fatalf("seed %d (%s): relation %s differs between derivations",
+						seed, dist, qa.Relations[i].Name)
+				}
+			}
+			if len(qa.Equalities) != len(qb.Equalities) {
+				t.Fatalf("seed %d (%s): equality counts differ", seed, dist)
+			}
+			for i := range qa.Equalities {
+				if qa.Equalities[i] != qb.Equalities[i] {
+					t.Fatalf("seed %d (%s): equality %d differs: %v vs %v",
+						seed, dist, i, qa.Equalities[i], qb.Equalities[i])
+				}
+			}
+		}
+	}
+}

@@ -101,6 +101,14 @@ func (r *Result) Rep() *frep.FRep {
 // tuple.
 func (r *Result) Iter() *frep.EncIterator { return frep.NewEncIterator(r.enc) }
 
+// IterShards splits the enumeration into n independent iterators over
+// contiguous slices of the enumeration order (the root union is
+// partitioned; draining shard 0, then 1, … reproduces Iter exactly).
+// Results are immutable, so the shards may be drained by n concurrent
+// goroutines — the parallel counterpart of Iter for consumers that want to
+// scan large results with all cores.
+func (r *Result) IterShards(n int) []*frep.EncIterator { return r.enc.EnumerateShards(n) }
+
 // Where applies equality conditions to the factorised result: the engine
 // searches for an optimal f-plan (restructuring + merge/absorb operators)
 // and executes it on the encoded representation (encoded operators are

@@ -32,6 +32,7 @@ type Stmt struct {
 	groupBy []relation.Attribute // aggregation statements: group-by attributes
 	aggs    []frep.AggSpec       // aggregation statements: aggregates to compute
 	cost    float64              // s(T) of the optimal f-tree
+	par     int                  // WithParallelism override; 0 = inherit from the DB
 }
 
 // paramSel is one compiled parameterised selection: column col of input
@@ -197,7 +198,17 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 		groupBy: s.groupBy,
 		aggs:    s.aggs,
 		cost:    cost,
+		par:     s.par,
 	}, nil
+}
+
+// parallelism resolves the worker count for one execution: the statement's
+// WithParallelism override if present, else the database-wide setting.
+func (st *Stmt) parallelism() int {
+	if st.par > 0 {
+		return st.par
+	}
+	return st.db.Parallelism()
 }
 
 // Params lists the statement's parameter names in declaration order.
@@ -258,7 +269,7 @@ func (st *Stmt) ExecAggContext(ctx context.Context, args ...NamedArg) (*AggResul
 	if err != nil {
 		return nil, err
 	}
-	rows, err := fr.Aggregate(st.groupBy, st.aggs)
+	rows, err := fr.AggregateParallel(st.groupBy, st.aggs, st.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -323,8 +334,9 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 	}
 
 	// Each Exec gets its own tree: the encoded representation owns it, and
-	// downstream operators derive fresh trees from it.
-	fr, err := fbuild.BuildEncContext(ctx, rels, st.tree.Clone())
+	// downstream operators derive fresh trees from it. The build is
+	// morsel-parallel when the execution's parallelism allows it.
+	fr, err := fbuild.BuildEncParallelContext(ctx, rels, st.tree.Clone(), st.parallelism())
 	if err != nil {
 		return nil, err
 	}
