@@ -25,14 +25,18 @@ const (
 
 // spec is the compiled clause list, before binding to a database.
 type spec struct {
-	mode    specMode
-	from    []string
-	eqs     []core.Equality
-	sels    []selSpec
-	project []relation.Attribute
-	groupBy []relation.Attribute
-	aggs    []frep.AggSpec
-	par     int // per-query parallelism override; 0 = inherit from the DB
+	mode     specMode
+	from     []string
+	eqs      []core.Equality
+	sels     []selSpec
+	project  []relation.Attribute
+	groupBy  []relation.Attribute
+	aggs     []frep.AggSpec
+	orderBy  []frep.OrderKey
+	limit    int // -1: no limit
+	offset   int
+	distinct bool
+	par      int // per-query parallelism override; 0 = inherit from the DB
 }
 
 // selSpec is one selection attr θ value; val is a Go constant (int, int64,
@@ -46,7 +50,7 @@ type selSpec struct {
 // compileSpec runs every clause through its apply method — the single,
 // honest compilation path. Nil clauses are rejected rather than ignored.
 func compileSpec(mode specMode, clauses []Clause) (*spec, error) {
-	s := &spec{mode: mode}
+	s := &spec{mode: mode, limit: -1}
 	for _, c := range clauses {
 		if c == nil {
 			return nil, fmt.Errorf("fdb: nil clause")
@@ -225,6 +229,126 @@ func (a aggClause) apply(s *spec) error {
 // aggregates are evaluated in one pass over the factorised representation,
 // never over the flat result.
 func Agg(fn AggFn, attr string) Clause { return aggClause{fn: fn, attr: attr} }
+
+// Key is one ORDER BY sort key: an attribute with a direction. Build keys
+// with Asc and Desc, or pass plain attribute strings to OrderBy for the
+// ascending default.
+type Key struct {
+	Attr string
+	Desc bool
+}
+
+// Asc returns an ascending sort key for OrderBy.
+func Asc(attr string) Key { return Key{Attr: attr} }
+
+// Desc returns a descending sort key for OrderBy.
+func Desc(attr string) Key { return Key{Attr: attr, Desc: true} }
+
+type orderByClause []interface{}
+
+func (o orderByClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: OrderBy is not allowed in Where/Join; order the query that produces the final result")
+	}
+	if len(o) == 0 {
+		return fmt.Errorf("fdb: OrderBy needs at least one key")
+	}
+	if len(s.orderBy) > 0 {
+		return fmt.Errorf("fdb: OrderBy given twice")
+	}
+	for _, k := range o {
+		switch x := k.(type) {
+		case string:
+			if x == "" {
+				return fmt.Errorf("fdb: OrderBy needs non-empty attribute names")
+			}
+			s.orderBy = append(s.orderBy, frep.OrderKey{Attr: relation.Attribute(x)})
+		case Key:
+			if x.Attr == "" {
+				return fmt.Errorf("fdb: OrderBy needs non-empty attribute names")
+			}
+			s.orderBy = append(s.orderBy, frep.OrderKey{Attr: relation.Attribute(x.Attr), Desc: x.Desc})
+		default:
+			return fmt.Errorf("fdb: OrderBy key must be a string or fdb.Key (Asc/Desc), got %T", k)
+		}
+	}
+	return nil
+}
+
+// OrderBy sorts the result by the given keys: attribute strings (ascending)
+// or Asc/Desc keys, most significant first. When the key prefix matches a
+// root-to-node path of the compiled f-tree (the engine reorders and, within
+// equal cost, restructures the tree to make it so), the result streams in
+// order straight from the factorised representation — no sort — and Limit
+// short-circuits after n tuples; otherwise retrieval falls back to a bounded
+// heap (with Limit) or a full sort of the enumeration. Key values compare in
+// dictionary-decoded order when the database dictionary is in use,
+// numerically otherwise. Ties beyond the keys break by the remaining result
+// columns ascending in stored (engine value) order — deterministic for a
+// given database, though for dictionary-encoded columns that is insertion
+// order, not alphabetical; name a column as a key to sort it decoded.
+func OrderBy(keys ...interface{}) Clause { return orderByClause(keys) }
+
+type limitClause int
+
+func (l limitClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: Limit is not allowed in Where/Join; limit the query that produces the final result")
+	}
+	if l < 0 {
+		return fmt.Errorf("fdb: Limit needs n >= 0, got %d", int(l))
+	}
+	if s.limit >= 0 {
+		return fmt.Errorf("fdb: Limit given twice")
+	}
+	s.limit = int(l)
+	return nil
+}
+
+// Limit caps the result at n tuples (applied after Offset). With an
+// order-compatible OrderBy this is true top-k over the compressed
+// representation: enumeration visits O(n) entries and stops.
+func Limit(n int) Clause { return limitClause(n) }
+
+type offsetClause int
+
+func (o offsetClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: Offset is not allowed in Where/Join; offset the query that produces the final result")
+	}
+	if o < 0 {
+		return fmt.Errorf("fdb: Offset needs n >= 0, got %d", int(o))
+	}
+	if s.offset > 0 {
+		return fmt.Errorf("fdb: Offset given twice")
+	}
+	s.offset = int(o)
+	return nil
+}
+
+// Offset skips the first n tuples of the (ordered) result.
+func Offset(n int) Clause { return offsetClause(n) }
+
+type distinctClause struct{}
+
+func (distinctClause) apply(s *spec) error {
+	if s.mode == modeWhere {
+		return fmt.Errorf("fdb: Distinct is not allowed in Where/Join")
+	}
+	if s.distinct {
+		return fmt.Errorf("fdb: Distinct given twice")
+	}
+	s.distinct = true
+	return nil
+}
+
+// Distinct makes the set semantics of the result explicit: after projection,
+// duplicate-representing unions are deduplicated in place on the factorised
+// form, never by hashing flat tuples. The engine's projection already
+// produces set results, so Distinct is a (verified) no-op on every query —
+// it exists so queries can state the requirement and so externally-built
+// representations normalise.
+func Distinct() Clause { return distinctClause{} }
 
 type parClause int
 

@@ -8,10 +8,16 @@
 //	    -eq Orders.item=Store.item -eq Store.location=Disp.location \
 //	    [-where 'Orders.oid<=3'] [-where 'Orders.item=$item' -param item=Milk] \
 //	    [-project Orders.oid,Disp.dispatcher] [-rows 20] \
+//	    [-orderby Disp.dispatcher,-Orders.oid] [-limit 5] [-offset 2] [-distinct] \
 //	    [-groupby Store.location -agg count -agg 'sum(Orders.oid)']
 //
 // With -agg (and optionally -groupby), the query aggregates in one pass
 // over the factorised result and prints one row per group.
+//
+// -orderby sorts the result by the named attributes (a leading '-' means
+// descending); when the key prefix matches the compiled f-tree, the rows
+// stream in order straight off the factorised representation and -limit
+// short-circuits after n tuples. -distinct makes the set semantics explicit.
 //
 // A -where value of the form $name compiles to a statement parameter bound
 // by a matching -param name=value flag.
@@ -20,7 +26,7 @@
 //
 //	fdb> prepare q1 from Orders,Store eq Orders.item=Store.item where Orders.oid<=$n
 //	fdb> exec q1 n=3
-//	fdb> query from Orders where Orders.item=Milk
+//	fdb> query from Orders orderby -Orders.item limit 3
 //	fdb> stats
 //
 // A relation file's first line is "Name<TAB>attr1<TAB>attr2…"; every other
@@ -31,8 +37,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -46,54 +54,84 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h already printed usage; that is success
+		}
+		fmt.Fprintln(os.Stderr, "fdb:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses argv, loads the relations, and
+// writes every report to out.
+func run(argv []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("fdb", flag.ContinueOnError)
 	var loads, eqs, wheres, params, aggs multiFlag
-	flag.Var(&loads, "load", "relation file to load (repeatable)")
-	from := flag.String("from", "", "comma-separated relations to join")
-	flag.Var(&eqs, "eq", "equality A=B over qualified attributes (repeatable)")
-	flag.Var(&wheres, "where", "selection attr(=|!=|<|<=|>|>=)value; value $name binds a parameter (repeatable)")
-	flag.Var(&params, "param", "parameter binding name=value for $name placeholders (repeatable)")
-	project := flag.String("project", "", "comma-separated attributes to keep")
-	flag.Var(&aggs, "agg", "aggregate count | sum(A) | min(A) | max(A) | distinct(A) (repeatable)")
-	groupBy := flag.String("groupby", "", "comma-separated attributes to group the aggregates by")
-	rows := flag.Int("rows", 10, "result rows to print (0: all)")
-	interactive := flag.Bool("i", false, "start an interactive REPL after loading")
-	flag.Parse()
+	fs.Var(&loads, "load", "relation file to load (repeatable)")
+	from := fs.String("from", "", "comma-separated relations to join")
+	fs.Var(&eqs, "eq", "equality A=B over qualified attributes (repeatable)")
+	fs.Var(&wheres, "where", "selection attr(=|!=|<|<=|>|>=)value; value $name binds a parameter (repeatable)")
+	fs.Var(&params, "param", "parameter binding name=value for $name placeholders (repeatable)")
+	project := fs.String("project", "", "comma-separated attributes to keep")
+	fs.Var(&aggs, "agg", "aggregate count | sum(A) | min(A) | max(A) | distinct(A) (repeatable)")
+	groupBy := fs.String("groupby", "", "comma-separated attributes to group the aggregates by")
+	orderBy := fs.String("orderby", "", "comma-separated sort keys; prefix an attribute with '-' for descending")
+	limit := fs.Int("limit", -1, "cap the result at n tuples (top-k with -orderby); -1: no limit")
+	offset := fs.Int("offset", 0, "skip the first n tuples of the (ordered) result")
+	distinct := fs.Bool("distinct", false, "deduplicate the result on the factorised form (explicit set semantics)")
+	rows := fs.Int("rows", 10, "result rows to print (0: all)")
+	interactive := fs.Bool("i", false, "start an interactive REPL after loading")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
 
 	db := fdb.New()
 	for _, f := range loads {
 		if _, err := db.LoadTSV(f); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *interactive {
-		repl(db, *rows)
-		return
+		repl(db, *rows, in, out)
+		return nil
 	}
 	if len(loads) == 0 && *from == "" {
-		demo()
-		return
+		return demo(out)
 	}
 	if *from == "" {
-		fatal(fmt.Errorf("missing -from"))
+		return fmt.Errorf("missing -from")
 	}
 	var clauses []fdb.Clause
 	clauses = append(clauses, fdb.From(strings.Split(*from, ",")...))
 	for _, e := range eqs {
 		parts := strings.SplitN(e, "=", 2)
 		if len(parts) != 2 {
-			fatal(fmt.Errorf("bad -eq %q", e))
+			return fmt.Errorf("bad -eq %q", e)
 		}
 		clauses = append(clauses, fdb.Eq(parts[0], parts[1]))
 	}
 	for _, w := range wheres {
 		c, err := parseWhere(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		clauses = append(clauses, c)
 	}
 	if *project != "" {
 		clauses = append(clauses, fdb.Project(strings.Split(*project, ",")...))
+	}
+	if *orderBy != "" {
+		clauses = append(clauses, parseOrderBy(*orderBy))
+	}
+	if *distinct {
+		clauses = append(clauses, fdb.Distinct())
+	}
+	if *offset > 0 {
+		clauses = append(clauses, fdb.Offset(*offset))
+	}
+	if *limit >= 0 {
+		clauses = append(clauses, fdb.Limit(*limit))
 	}
 	if *groupBy != "" {
 		clauses = append(clauses, fdb.GroupBy(strings.Split(*groupBy, ",")...))
@@ -101,31 +139,45 @@ func main() {
 	for _, a := range aggs {
 		c, err := parseAgg(a)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		clauses = append(clauses, c)
 	}
 	stmt, err := db.Prepare(clauses...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	args, err := parseArgs(params)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if len(stmt.Aggregates()) > 0 {
 		ar, err := stmt.ExecAgg(args...)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		reportAgg(ar, *rows)
-		return
+		reportAgg(out, ar, *rows)
+		return nil
 	}
 	res, err := stmt.Exec(args...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	report(res, *rows)
+	report(out, res, *rows)
+	return nil
+}
+
+// parseOrderBy turns "A,-B" into an OrderBy clause (leading '-': descending).
+func parseOrderBy(s string) fdb.Clause {
+	var keys []interface{}
+	for _, tok := range strings.Split(s, ",") {
+		if strings.HasPrefix(tok, "-") {
+			keys = append(keys, fdb.Desc(tok[1:]))
+		} else {
+			keys = append(keys, fdb.Asc(tok))
+		}
+	}
+	return fdb.OrderBy(keys...)
 }
 
 // parseAgg parses an aggregate token: count, sum(A), min(A), max(A) or
@@ -200,20 +252,23 @@ func parseArgs(tokens []string) ([]fdb.NamedArg, error) {
 	return args, nil
 }
 
-func report(res *fdb.Result, rows int) {
-	fmt.Println("f-tree:")
-	fmt.Print(res.FTree())
-	fmt.Printf("factorised size: %d singletons\n", res.Size())
-	fmt.Printf("tuples:          %d (flat size %d data elements)\n", res.Count(), res.FlatSize())
-	fmt.Println("factorisation:")
-	fmt.Println(" ", res)
-	fmt.Println("rows:")
-	fmt.Print(res.Table(rows))
+func report(out io.Writer, res *fdb.Result, rows int) {
+	fmt.Fprintln(out, "f-tree:")
+	fmt.Fprint(out, res.FTree())
+	fmt.Fprintf(out, "factorised size: %d singletons\n", res.Size())
+	fmt.Fprintf(out, "tuples:          %d (flat size %d data elements)\n", res.Count(), res.FlatSize())
+	if res.OrderStreamed() {
+		fmt.Fprintln(out, "order:           streamed off the f-tree (no sort)")
+	}
+	fmt.Fprintln(out, "factorisation:")
+	fmt.Fprintln(out, " ", res)
+	fmt.Fprintln(out, "rows:")
+	fmt.Fprint(out, res.Table(rows))
 }
 
-func reportAgg(ar *fdb.AggResult, rows int) {
-	fmt.Printf("groups: %d\n", ar.Len())
-	fmt.Print(ar.Table(rows))
+func reportAgg(out io.Writer, ar *fdb.AggResult, rows int) {
+	fmt.Fprintf(out, "groups: %d\n", ar.Len())
+	fmt.Fprint(out, ar.Table(rows))
 }
 
 // ------------------------------------------------------------------- REPL
@@ -228,21 +283,24 @@ const replHelp = `commands:
   help | quit
 query syntax:
   from R1,R2 [eq A=B ...] [where ATTR(=|!=|<|<=|>|>=)VAL ...] [project A,B]
+  [orderby A,-B] [limit N] [offset N] [distinct]
   [groupby A,B] [agg count|sum(A)|min(A)|max(A)|distinct(A) ...]
-aggregation queries (agg, optionally groupby) print one row per group,
-computed in a single pass over the factorised result.`
+orderby sorts the rows (leading '-': descending); with a tree-compatible key
+prefix the rows stream in order off the factorised result and limit N is
+top-k. aggregation queries (agg, optionally groupby) print one row per
+group, computed in a single pass over the factorised result.`
 
-// repl reads commands from stdin until EOF or quit.
-func repl(db *fdb.DB, rows int) {
+// repl reads commands from in until EOF or quit.
+func repl(db *fdb.DB, rows int, in io.Reader, out io.Writer) {
 	stmts := map[string]*fdb.Stmt{}
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("fdb interactive — 'help' for commands")
+	sc := bufio.NewScanner(in)
+	fmt.Fprintln(out, "fdb interactive — 'help' for commands")
 	for {
-		fmt.Print("fdb> ")
+		fmt.Fprint(out, "fdb> ")
 		if !sc.Scan() {
-			fmt.Println()
+			fmt.Fprintln(out)
 			if err := sc.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "error reading input:", err)
+				fmt.Fprintln(out, "error reading input:", err)
 			}
 			return
 		}
@@ -256,33 +314,33 @@ func repl(db *fdb.DB, rows int) {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println(replHelp)
+			fmt.Fprintln(out, replHelp)
 		case "load":
-			err = replLoad(db, rest)
+			err = replLoad(db, rest, out)
 		case "rels":
 			for _, name := range db.Relations() {
 				r, _ := db.Relation(name)
-				fmt.Printf("  %s%v: %d tuples\n", name, r.Schema, r.Cardinality())
+				fmt.Fprintf(out, "  %s%v: %d tuples\n", name, r.Schema, r.Cardinality())
 			}
 		case "prepare":
-			err = replPrepare(db, stmts, rest)
+			err = replPrepare(db, stmts, rest, out)
 		case "exec":
-			err = replExec(stmts, rest, rows)
+			err = replExec(stmts, rest, rows, out)
 		case "query":
-			err = replQuery(db, rest, rows)
+			err = replQuery(db, rest, rows, out)
 		case "stats":
 			s := db.CacheStats()
-			fmt.Printf("  plan cache: %d entries, %d hits, %d misses\n", s.Entries, s.Hits, s.Misses)
+			fmt.Fprintf(out, "  plan cache: %d entries, %d hits, %d misses\n", s.Entries, s.Hits, s.Misses)
 		default:
 			err = fmt.Errorf("unknown command %q ('help' lists commands)", cmd)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			fmt.Fprintln(out, "error:", err)
 		}
 	}
 }
 
-func replLoad(db *fdb.DB, rest []string) error {
+func replLoad(db *fdb.DB, rest []string, out io.Writer) error {
 	if len(rest) != 1 {
 		return fmt.Errorf("usage: load <path>")
 	}
@@ -290,11 +348,11 @@ func replLoad(db *fdb.DB, rest []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  loaded %s\n", name)
+	fmt.Fprintf(out, "  loaded %s\n", name)
 	return nil
 }
 
-func replPrepare(db *fdb.DB, stmts map[string]*fdb.Stmt, rest []string) error {
+func replPrepare(db *fdb.DB, stmts map[string]*fdb.Stmt, rest []string, out io.Writer) error {
 	if len(rest) < 2 {
 		return fmt.Errorf("usage: prepare <name> <query>")
 	}
@@ -308,14 +366,14 @@ func replPrepare(db *fdb.DB, stmts map[string]*fdb.Stmt, rest []string) error {
 	}
 	stmts[rest[0]] = stmt
 	if aggs := stmt.Aggregates(); len(aggs) > 0 {
-		fmt.Printf("  %s compiled: s(T)=%.1f, params %v, aggregates %v\n", rest[0], stmt.Cost(), stmt.Params(), aggs)
+		fmt.Fprintf(out, "  %s compiled: s(T)=%.1f, params %v, aggregates %v\n", rest[0], stmt.Cost(), stmt.Params(), aggs)
 	} else {
-		fmt.Printf("  %s compiled: s(T)=%.1f, params %v\n", rest[0], stmt.Cost(), stmt.Params())
+		fmt.Fprintf(out, "  %s compiled: s(T)=%.1f, params %v\n", rest[0], stmt.Cost(), stmt.Params())
 	}
 	return nil
 }
 
-func replExec(stmts map[string]*fdb.Stmt, rest []string, rows int) error {
+func replExec(stmts map[string]*fdb.Stmt, rest []string, rows int, out io.Writer) error {
 	if len(rest) < 1 {
 		return fmt.Errorf("usage: exec <name> [k=v ...]")
 	}
@@ -332,18 +390,18 @@ func replExec(stmts map[string]*fdb.Stmt, rest []string, rows int) error {
 		if err != nil {
 			return err
 		}
-		reportAgg(ar, rows)
+		reportAgg(out, ar, rows)
 		return nil
 	}
 	res, err := stmt.Exec(args...)
 	if err != nil {
 		return err
 	}
-	report(res, rows)
+	report(out, res, rows)
 	return nil
 }
 
-func replQuery(db *fdb.DB, rest []string, rows int) error {
+func replQuery(db *fdb.DB, rest []string, rows int, out io.Writer) error {
 	clauses, hasAgg, err := parseQuery(rest)
 	if err != nil {
 		return err
@@ -353,21 +411,21 @@ func replQuery(db *fdb.DB, rest []string, rows int) error {
 		if err != nil {
 			return err
 		}
-		reportAgg(ar, rows)
+		reportAgg(out, ar, rows)
 		return nil
 	}
 	res, err := db.Query(clauses...)
 	if err != nil {
 		return err
 	}
-	report(res, rows)
+	report(out, res, rows)
 	return nil
 }
 
 // parseQuery parses the REPL query grammar: from R1,R2 eq A=B ... where
-// ATTR<op>VAL ... project A,B groupby A,B agg count|sum(A)|... It also
-// reports whether the query aggregates (and so runs through
-// QueryAgg/ExecAgg rather than Query/Exec).
+// ATTR<op>VAL ... project A,B orderby A,-B limit N offset N distinct
+// groupby A,B agg count|sum(A)|... It also reports whether the query
+// aggregates (and so runs through QueryAgg/ExecAgg rather than Query/Exec).
 func parseQuery(tokens []string) ([]fdb.Clause, bool, error) {
 	var clauses []fdb.Clause
 	hasAgg := false
@@ -406,6 +464,35 @@ func parseQuery(tokens []string) ([]fdb.Clause, bool, error) {
 			}
 			clauses = append(clauses, fdb.Project(strings.Split(tokens[i+1], ",")...))
 			i += 2
+		case "orderby":
+			if i+1 >= len(tokens) {
+				return nil, false, fmt.Errorf("orderby needs a key list (e.g. A,-B)")
+			}
+			clauses = append(clauses, parseOrderBy(tokens[i+1]))
+			i += 2
+		case "limit":
+			if i+1 >= len(tokens) {
+				return nil, false, fmt.Errorf("limit needs a count")
+			}
+			n, err := strconv.Atoi(tokens[i+1])
+			if err != nil {
+				return nil, false, fmt.Errorf("bad limit %q", tokens[i+1])
+			}
+			clauses = append(clauses, fdb.Limit(n))
+			i += 2
+		case "offset":
+			if i+1 >= len(tokens) {
+				return nil, false, fmt.Errorf("offset needs a count")
+			}
+			n, err := strconv.Atoi(tokens[i+1])
+			if err != nil {
+				return nil, false, fmt.Errorf("bad offset %q", tokens[i+1])
+			}
+			clauses = append(clauses, fdb.Offset(n))
+			i += 2
+		case "distinct":
+			clauses = append(clauses, fdb.Distinct())
+			i++
 		case "groupby":
 			if i+1 >= len(tokens) {
 				return nil, false, fmt.Errorf("groupby needs an attribute list")
@@ -431,8 +518,8 @@ func parseQuery(tokens []string) ([]fdb.Clause, bool, error) {
 }
 
 // demo runs Q1 of the paper on the grocery database of Figure 1, then shows
-// the prepared-statement flow: one compiled plan serving several constants.
-func demo() {
+// the prepared-statement flow and an ordered top-k retrieval.
+func demo(out io.Writer) error {
 	db := fdb.New()
 	db.MustCreate("Orders", "oid", "item")
 	for _, r := range [][2]string{{"01", "Milk"}, {"01", "Cheese"}, {"02", "Melon"}, {"03", "Cheese"}, {"03", "Melon"}} {
@@ -447,34 +534,50 @@ func demo() {
 	for _, r := range [][2]string{{"Adnan", "Istanbul"}, {"Adnan", "Izmir"}, {"Yasemin", "Istanbul"}, {"Volkan", "Antalya"}} {
 		db.MustInsert("Disp", r[0], r[1])
 	}
-	fmt.Println("Q1 = Orders ⋈item Store ⋈location Disp (Example 1 of the paper)")
+	fmt.Fprintln(out, "Q1 = Orders ⋈item Store ⋈location Disp (Example 1 of the paper)")
 	res, err := db.Query(
 		fdb.From("Orders", "Store", "Disp"),
 		fdb.Eq("Orders.item", "Store.item"),
 		fdb.Eq("Store.location", "Disp.location"))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	report(res, 0)
+	report(out, res, 0)
 
-	fmt.Println("\nprepared: same join with Orders.item = $item, compiled once")
+	fmt.Fprintln(out, "\nprepared: same join with Orders.item = $item, compiled once")
 	stmt, err := db.Prepare(
 		fdb.From("Orders", "Store", "Disp"),
 		fdb.Eq("Orders.item", "Store.item"),
 		fdb.Eq("Store.location", "Disp.location"),
 		fdb.Cmp("Orders.item", fdb.EQ, fdb.Param("item")))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, item := range []string{"Milk", "Cheese"} {
 		r, err := stmt.Exec(fdb.Arg("item", item))
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("  item=%s: %d tuples, %d singletons\n", item, r.Count(), r.Size())
+		fmt.Fprintf(out, "  item=%s: %d tuples, %d singletons\n", item, r.Count(), r.Size())
 	}
 
-	fmt.Println("\naggregated: orders and distinct items per location, one pass over the f-rep")
+	fmt.Fprintln(out, "\nordered: the join sorted by item (decoded order), first 3 rows streamed")
+	ost, err := db.Prepare(
+		fdb.From("Orders", "Store", "Disp"),
+		fdb.Eq("Orders.item", "Store.item"),
+		fdb.Eq("Store.location", "Disp.location"),
+		fdb.OrderBy("Orders.item"),
+		fdb.Limit(3))
+	if err != nil {
+		return err
+	}
+	ores, err := ost.Exec()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, ores.Table(0))
+
+	fmt.Fprintln(out, "\naggregated: orders and distinct items per location, one pass over the f-rep")
 	ar, err := db.QueryAgg(
 		fdb.From("Orders", "Store", "Disp"),
 		fdb.Eq("Orders.item", "Store.item"),
@@ -483,12 +586,8 @@ func demo() {
 		fdb.Agg(fdb.Count, ""),
 		fdb.Agg(fdb.CountDistinct, "Orders.item"))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(ar.Table(0))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fdb:", err)
-	os.Exit(1)
+	fmt.Fprint(out, ar.Table(0))
+	return nil
 }

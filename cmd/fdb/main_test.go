@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// writeTSVs materialises the test relations and returns their paths.
+func writeTSVs(t *testing.T) (orders, store, disp string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	orders = write("orders.tsv", "Orders\toid\titem\n"+
+		"o1\tMilk\no1\tCheese\no2\tMelon\no3\tCheese\no3\tMelon\n")
+	store = write("store.tsv", "Store\tlocation\titem\n"+
+		"Istanbul\tMilk\nIstanbul\tCheese\nIstanbul\tMelon\nIzmir\tMilk\nAntalya\tMilk\nAntalya\tCheese\n")
+	disp = write("disp.tsv", "Disp\tdispatcher\tlocation\n"+
+		"Adnan\tIstanbul\nAdnan\tIzmir\nYasemin\tIstanbul\nVolkan\tAntalya\n")
+	return
+}
+
+// TestOrderedQueryGolden locks the ordered-query output down: the same
+// ORDER BY/LIMIT invocation must print byte-identical output on every run
+// (stable plan, stable streaming order, stable rendering). Regenerate with
+// `go test ./cmd/fdb -run Golden -update`.
+func TestOrderedQueryGolden(t *testing.T) {
+	orders, store, disp := writeTSVs(t)
+	var out bytes.Buffer
+	args := []string{
+		"-load", orders, "-load", store, "-load", disp,
+		"-from", "Orders,Store,Disp",
+		"-eq", "Orders.item=Store.item",
+		"-eq", "Store.location=Disp.location",
+		"-orderby", "Orders.item,-Disp.dispatcher",
+		"-offset", "1",
+		"-limit", "6",
+		"-distinct",
+		"-rows", "0",
+	}
+	if err := run(args, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "ordered_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("ordered output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+	}
+	// Stability across runs, not just against the checked-in file.
+	var again bytes.Buffer
+	if err := run(args, strings.NewReader(""), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("two identical invocations printed different output")
+	}
+}
+
+// TestREPLOrderedVerbs drives the REPL grammar for orderby/limit/offset/
+// distinct end to end.
+func TestREPLOrderedVerbs(t *testing.T) {
+	orders, store, disp := writeTSVs(t)
+	script := strings.Join([]string{
+		"load " + orders,
+		"load " + store,
+		"load " + disp,
+		"query from Orders orderby -Orders.item limit 2",
+		"query from Orders,Store eq Orders.item=Store.item project Store.location distinct orderby Store.location",
+		"prepare q from Orders orderby Orders.oid,-Orders.item offset 1",
+		"exec q",
+		"quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := run([]string{"-i", "-rows", "0"}, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "error:") {
+		t.Fatalf("REPL reported an error:\n%s", s)
+	}
+	for _, want := range []string{"Melon", "Antalya", "Istanbul", "Izmir", "q compiled"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("REPL output misses %q:\n%s", want, s)
+		}
+	}
+	// Distinct projection, ordered: the location rows come back sorted.
+	if !strings.Contains(s, "Antalya\nIstanbul\nIzmir\n") {
+		t.Fatalf("distinct ordered projection rows missing or out of order:\n%s", s)
+	}
+}
+
+// TestRunErrors: the CLI surfaces clause errors instead of printing.
+func TestRunErrors(t *testing.T) {
+	orders, _, _ := writeTSVs(t)
+	for name, args := range map[string][]string{
+		"missing from":  {"-load", orders, "-orderby", "Orders.oid"},
+		"bad orderattr": {"-load", orders, "-from", "Orders", "-orderby", "Orders.zzz"},
+		"agg and limit": {"-load", orders, "-from", "Orders", "-agg", "count", "-limit", "3"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

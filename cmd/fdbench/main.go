@@ -10,6 +10,7 @@
 //	fdbench -exp 6            # factorised aggregation vs enumerate-then-fold
 //	fdbench -exp 7            # arena-backed columnar encoding vs pointer form
 //	fdbench -exp 8            # morsel-parallel execution: speedup vs worker count
+//	fdbench -exp 9            # ordered top-k (ORDER BY + LIMIT) vs flat sort-then-cut
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-8; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-9; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -47,6 +48,7 @@ func main() {
 		exp6(*seed, *runs)
 		exp7(*seed, *runs)
 		exp8(*seed, *runs)
+		exp9(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -63,8 +65,10 @@ func main() {
 		exp7(*seed, *runs)
 	case 8:
 		exp8(*seed, *runs)
+	case 9:
+		exp9(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..8")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..9")
 		os.Exit(2)
 	}
 }
@@ -304,6 +308,51 @@ func exp8(seed int64, runs int) {
 	}
 	for _, length := range []int{4, 6, 8} {
 		run("chain", length, bench.Experiment8Chain)
+	}
+}
+
+func exp9(seed int64, runs int) {
+	fmt.Println("# Experiment 9: ordered top-k (ORDER BY + LIMIT k) vs flat enumerate-sort-cut on the same built result")
+	fmt.Println("# retailer streams off the order-compatible f-tree (O(k) entries); chain falls back to the bounded size-k heap")
+	fmt.Println("# workload scale k flat_tuples frep_size build_ms topk_ms flat_ms speedup mode")
+	rng := rand.New(rand.NewSource(seed))
+	run := func(sweep func(*rand.Rand, bench.Exp9Config) (bench.Exp9Row, error), scale, k int) {
+		var acc bench.Exp9Row
+		n := 0
+		for i := 0; i < runs; i++ {
+			row, err := sweep(rng, bench.Exp9Config{Scale: scale, K: k})
+			if err != nil {
+				// The experiment doubles as the top-k-vs-baseline parity check
+				// CI runs; its failure must fail the process.
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				os.Exit(1)
+			}
+			acc.Workload, acc.Streamed = row.Workload, row.Streamed
+			acc.Tuples += row.Tuples
+			acc.FRepSize += row.FRepSize
+			acc.BuildMS += row.BuildMS
+			acc.TopkMS += row.TopkMS
+			acc.FlatMS += row.FlatMS
+			n++
+		}
+		f := float64(n)
+		speedup := 0.0
+		if acc.TopkMS > 0 {
+			speedup = acc.FlatMS / acc.TopkMS
+		}
+		mode := "heap"
+		if acc.Streamed {
+			mode = "stream"
+		}
+		fmt.Printf("%s %d %d %d %d %.3f %.3f %.3f %.1f %s\n",
+			acc.Workload, scale, k, acc.Tuples/int64(n), acc.FRepSize/int64(n),
+			acc.BuildMS/f, acc.TopkMS/f, acc.FlatMS/f, speedup, mode)
+	}
+	for _, scale := range []int{2, 4, 8} {
+		run(bench.Experiment9Retailer, scale, 10)
+	}
+	for _, length := range []int{4, 5, 6} {
+		run(bench.Experiment9Chain, length, 10)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/csvio"
+	"repro/internal/frep"
 	"repro/internal/relation"
 )
 
@@ -295,6 +296,28 @@ func (db *DB) fingerprint(s *spec) (string, map[string]uint64, error) {
 	if s.par > 0 {
 		key = fmt.Sprintf("%s|par %d", key, s.par)
 	}
+	// Ordering participates in planning (the tree is reordered/restructured
+	// so the keys stream) and limit/offset/distinct ride on the compiled
+	// statement, so all four are part of the plan identity.
+	if len(s.orderBy) > 0 {
+		var b strings.Builder
+		b.WriteString(key)
+		b.WriteString("|order")
+		for _, k := range s.orderBy {
+			b.WriteByte(' ')
+			b.WriteString(k.String())
+		}
+		key = b.String()
+	}
+	if s.offset > 0 {
+		key = fmt.Sprintf("%s|off %d", key, s.offset)
+	}
+	if s.limit >= 0 {
+		key = fmt.Sprintf("%s|lim %d", key, s.limit)
+	}
+	if s.distinct {
+		key += "|distinct"
+	}
 	// Aggregation restructures the compiled tree (group attributes lifted),
 	// so grouping and aggregate list are part of the plan identity.
 	if len(s.aggs) > 0 {
@@ -342,6 +365,33 @@ func (db *DB) Parallelism() int {
 		return p
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// orderLess returns the value comparator ORDER BY uses, mirroring how
+// results render: dictionary-decoded values compare lexicographically, plain
+// integers numerically, and integers sort before dictionary strings. With an
+// empty dictionary (pure integer data) it returns nil — native value order
+// already is decoded order, so ordered iteration needs no permutations.
+func (db *DB) orderLess() frep.ValueLess {
+	// Snapshot the append-only dictionary once: every code in the result
+	// predates this call, and the comparator runs O(N log N) times on the
+	// sort paths — a lock round-trip per comparison would dominate.
+	strs := db.dict.Snapshot()
+	if len(strs) == 0 {
+		return nil
+	}
+	return func(a, b relation.Value) bool {
+		oka := a >= 0 && int(a) < len(strs)
+		okb := b >= 0 && int(b) < len(strs)
+		switch {
+		case oka && okb:
+			return strs[a] < strs[b]
+		case !oka && !okb:
+			return a < b
+		default:
+			return !oka
+		}
+	}
 }
 
 // encode turns a Go value into an engine Value. The dictionary is

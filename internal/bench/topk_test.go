@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	fdb "repro"
+)
+
+func TestExperiment9Retailer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	row, err := Experiment9Retailer(rng, Exp9Config{Scale: 2, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Streamed {
+		t.Fatal("retailer leg must stream")
+	}
+	if row.Tuples == 0 {
+		t.Fatal("empty retailer join")
+	}
+}
+
+func TestExperiment9Chain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	row, err := Experiment9Chain(rng, Exp9Config{Scale: 4, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Streamed {
+		t.Fatal("chain leg must exercise the bounded heap")
+	}
+}
+
+// BenchmarkTopKRetailer times the full ordered top-k query path — prepared
+// Exec (build) plus streaming retrieval of the first K tuples — on the
+// scale-2 retailer join. Recorded into BENCH_ci.json; not baseline-gated
+// until a committed baseline exists.
+func BenchmarkTopKRetailer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db, join := exp9Retailer(rng, 2)
+	st, err := db.Prepare(append(join[:len(join):len(join)],
+		fdb.OrderBy(fdb.Desc("Orders.item"), "Orders.oid"), fdb.Limit(10))...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !st.OrderStreamable() {
+		b.Fatal("top-k leg must stream")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Exec()
+		if err != nil {
+			b.Fatal(err)
+		}
+		it := res.Iter()
+		n := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 10 {
+			b.Fatalf("retrieved %d tuples, want 10", n)
+		}
+	}
+}

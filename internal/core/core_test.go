@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fplan"
+	"repro/internal/relation"
+)
+
+func rel(name string, attrs ...relation.Attribute) *relation.Relation {
+	return relation.New(name, relation.Schema(attrs))
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	ra, rb := rel("R", "R.a", "R.b"), rel("S", "S.b", "S.c")
+	q1 := &Query{
+		Relations:  []*relation.Relation{ra, rb},
+		Equalities: []Equality{{A: "R.b", B: "S.b"}},
+		Selections: []ConstSel{{A: "R.a", Op: fplan.Le, C: 3}},
+	}
+	// Syntactic permutations: relation order, equality orientation,
+	// selection order.
+	q2 := &Query{
+		Relations:  []*relation.Relation{rb, ra},
+		Equalities: []Equality{{A: "S.b", B: "R.b"}},
+		Selections: []ConstSel{{A: "R.a", Op: fplan.Le, C: 3}},
+	}
+	if q1.Fingerprint() != q2.Fingerprint() {
+		t.Fatalf("permuted queries fingerprint differently:\n%s\n%s", q1.Fingerprint(), q2.Fingerprint())
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	ra, rb := rel("R", "R.a", "R.b"), rel("S", "S.b", "S.c")
+	base := func() *Query {
+		return &Query{
+			Relations:  []*relation.Relation{ra, rb},
+			Equalities: []Equality{{A: "R.b", B: "S.b"}},
+		}
+	}
+	q := base()
+	fp := q.Fingerprint()
+
+	sel := base()
+	sel.Selections = []ConstSel{{A: "R.a", Op: fplan.Eq, C: 1}}
+	if sel.Fingerprint() == fp {
+		t.Fatal("selection not part of the fingerprint")
+	}
+	sel2 := base()
+	sel2.Selections = []ConstSel{{A: "R.a", Op: fplan.Eq, C: 2}}
+	if sel2.Fingerprint() == sel.Fingerprint() {
+		t.Fatal("selection constant not part of the fingerprint")
+	}
+	op := base()
+	op.Selections = []ConstSel{{A: "R.a", Op: fplan.Ne, C: 1}}
+	if op.Fingerprint() == sel.Fingerprint() {
+		t.Fatal("selection operator not part of the fingerprint")
+	}
+
+	proj := base()
+	proj.Projection = []relation.Attribute{"R.a", "S.c"}
+	if proj.Fingerprint() == fp {
+		t.Fatal("projection not part of the fingerprint")
+	}
+	proj2 := base()
+	proj2.Projection = []relation.Attribute{"S.c", "R.a"}
+	if proj2.Fingerprint() == proj.Fingerprint() {
+		t.Fatal("projection order must be part of the fingerprint (it is the output order)")
+	}
+	// Empty (non-nil) projection differs from keep-all.
+	proj3 := base()
+	proj3.Projection = []relation.Attribute{}
+	if proj3.Fingerprint() == fp {
+		t.Fatal("empty projection aliases keep-all")
+	}
+	// Attribute names with metacharacters must not collide (the encoding
+	// quotes every name).
+	tricky1 := &Query{Relations: []*relation.Relation{rel("R", `R.a"`, "R.b")}}
+	tricky2 := &Query{Relations: []*relation.Relation{rel("R", "R.a", `".R.b`)}}
+	if tricky1.Fingerprint() == tricky2.Fingerprint() {
+		t.Fatal("quoted attribute names collide")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ra, rb := rel("R", "R.a", "R.b"), rel("S", "S.b", "S.c")
+	ok := &Query{Relations: []*relation.Relation{ra, rb}, Equalities: []Equality{{A: "R.b", B: "S.b"}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := &Query{Relations: []*relation.Relation{ra, rel("T", "R.a")}}
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "two relations") {
+		t.Fatalf("duplicate attribute not rejected: %v", err)
+	}
+	badEq := &Query{Relations: []*relation.Relation{ra}, Equalities: []Equality{{A: "R.a", B: "X"}}}
+	if badEq.Validate() == nil {
+		t.Fatal("unknown equality attribute not rejected")
+	}
+	badSel := &Query{Relations: []*relation.Relation{ra}, Selections: []ConstSel{{A: "X", Op: fplan.Eq, C: 1}}}
+	if badSel.Validate() == nil {
+		t.Fatal("unknown selection attribute not rejected")
+	}
+	badProj := &Query{Relations: []*relation.Relation{ra}, Projection: []relation.Attribute{"X"}}
+	if badProj.Validate() == nil {
+		t.Fatal("unknown projection attribute not rejected")
+	}
+}
+
+func TestClassesUnionFind(t *testing.T) {
+	q := &Query{
+		Relations: []*relation.Relation{
+			rel("R", "a", "b"), rel("S", "c", "d"), rel("T", "e"),
+		},
+		Equalities: []Equality{{A: "b", B: "c"}, {A: "c", B: "d"}},
+	}
+	classes := q.Classes()
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3: %v", len(classes), classes)
+	}
+	find := func(a relation.Attribute) relation.AttrSet {
+		for _, c := range classes {
+			if c.Has(a) {
+				return c
+			}
+		}
+		t.Fatalf("attribute %q in no class", a)
+		return nil
+	}
+	joined := find("b")
+	for _, a := range []relation.Attribute{"c", "d"} {
+		if !joined.Has(a) {
+			t.Fatalf("class of b misses %q: %v", a, joined)
+		}
+	}
+	if len(find("a")) != 1 || len(find("e")) != 1 {
+		t.Fatal("unjoined attributes must be singleton classes")
+	}
+}
+
+func TestConstSelMatchAndEvaluateFlat(t *testing.T) {
+	for _, tc := range []struct {
+		op   fplan.Cmp
+		v, c relation.Value
+		want bool
+	}{
+		{fplan.Eq, 2, 2, true}, {fplan.Eq, 2, 3, false},
+		{fplan.Ne, 2, 3, true}, {fplan.Lt, 2, 3, true},
+		{fplan.Le, 3, 3, true}, {fplan.Gt, 4, 3, true},
+		{fplan.Ge, 3, 3, true}, {fplan.Ge, 2, 3, false},
+	} {
+		if got := (ConstSel{A: "x", Op: tc.op, C: tc.c}).Match(tc.v); got != tc.want {
+			t.Errorf("%d %s %d = %v, want %v", tc.v, tc.op, tc.c, got, tc.want)
+		}
+	}
+
+	r := rel("R", "a", "b")
+	r.Append(1, 1)
+	r.Append(1, 2)
+	r.Append(2, 2)
+	s := rel("S", "c")
+	s.Append(1)
+	s.Append(2)
+	q := &Query{
+		Relations:  []*relation.Relation{r, s},
+		Equalities: []Equality{{A: "b", B: "c"}},
+		Selections: []ConstSel{{A: "a", Op: fplan.Eq, C: 1}},
+		Projection: []relation.Attribute{"a", "c"},
+	}
+	out, err := q.EvaluateFlat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ_{a=1}(R ⋈ S) projected to (a, c): {(1,1), (1,2)}.
+	if out.Cardinality() != 2 {
+		t.Fatalf("flat evaluation has %d tuples, want 2:\n%v", out.Cardinality(), out.Tuples)
+	}
+}

@@ -42,6 +42,8 @@ func ApplyEnc(op Op, e *frep.Enc) (*frep.Enc, error) {
 		return normaliseEnc(e)
 	case Project:
 		return projectEnc(o, e)
+	case Distinct:
+		return frep.DedupEnc(e), nil
 	default:
 		return applyEncDecoded(op, e)
 	}

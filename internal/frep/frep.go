@@ -134,6 +134,10 @@ func (f *FRep) Count() int64 {
 
 const maxInt64 = int64(^uint64(0) >> 1)
 
+// SatMul multiplies saturating at math.MaxInt64 — exported so the public
+// layer's size accounting clips the same way the representation measures do.
+func SatMul(a, b int64) int64 { return satMul(a, b) }
+
 func satMul(a, b int64) int64 {
 	if a == 0 || b == 0 {
 		return 0

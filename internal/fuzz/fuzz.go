@@ -1,12 +1,16 @@
 // Package fuzz is the differential testing harness of the engine: it
 // derives a complete random query workload from a single seed — schema and
 // data via internal/gen, a conjunctive equality join, constant selections,
-// and either a projection or a group-by aggregation — runs it through the
-// public fdb surface at a chosen execution parallelism, and checks the
-// result tuple-for-tuple (or aggregate-row-for-row) against the flat
-// internal/rdb oracle. Every failure message leads with the seed, so any
-// mismatch found by the randomised tests or by `go test -fuzz` reproduces
-// with Check(seed, p) alone.
+// a projection or a group-by aggregation, and (for tuple results) random
+// OrderBy keys (mixed asc/desc, tree-compatible and incompatible),
+// Limit/Offset and Distinct — runs it through the public fdb surface at a
+// chosen execution parallelism, and checks the result against the flat
+// internal/rdb oracle as an exact tuple *sequence*: the engine's
+// enumeration order is deterministic (ORDER BY keys first, remaining
+// columns ascending), so the oracle sorts its flat result with the same
+// comparator and every position must match. Every failure message leads
+// with the seed, so any mismatch found by the randomised tests or by `go
+// test -fuzz` reproduces with Check(seed, p) alone.
 package fuzz
 
 import (
@@ -31,21 +35,32 @@ const maxOracleTuples = 500_000
 // Case is one derived differential test case. All randomness comes from the
 // seed; two Cases with the same seed are identical.
 type Case struct {
-	Seed    int64
-	rels    []*relation.Relation // qualified-schema inputs for the oracle
-	names   []string             // relation names, creation order
-	bare    map[string][]string  // relation name -> bare attribute names
-	eqs     []core.Equality      // qualified
-	sels    []core.ConstSel      // qualified
-	project []relation.Attribute // qualified; nil when aggregating or keeping all
-	groupBy []relation.Attribute // qualified; aggregation cases only
-	aggs    []frep.AggSpec       // non-empty for aggregation cases
+	Seed     int64
+	rels     []*relation.Relation // qualified-schema inputs for the oracle
+	names    []string             // relation names, creation order
+	bare     map[string][]string  // relation name -> bare attribute names
+	eqs      []core.Equality      // qualified
+	sels     []core.ConstSel      // qualified
+	project  []relation.Attribute // qualified; nil when aggregating or keeping all
+	groupBy  []relation.Attribute // qualified; aggregation cases only
+	aggs     []frep.AggSpec       // non-empty for aggregation cases
+	orderBy  []frep.OrderKey      // qualified; tuple cases only
+	limit    int                  // -1: none
+	offset   int
+	distinct bool
+	// String cases insert every value dictionary-encoded through a scrambled
+	// alphabet (strs[v-1] is value v's string form; lexicographic order is a
+	// random permutation of numeric order), so ORDER BY must sort keys in
+	// decoded order — codes are insertion-ordered — and the per-column sort
+	// permutations are on the oracle's hook. Selections are restricted to
+	// EQ/NE for these cases (inequalities on codes have no int analogue).
+	strs []string
 }
 
 // NewCase derives a case from the seed.
 func NewCase(seed int64) (*Case, error) {
 	rng := rand.New(rand.NewSource(seed))
-	c := &Case{Seed: seed, bare: map[string][]string{}}
+	c := &Case{Seed: seed, bare: map[string][]string{}, limit: -1}
 
 	r := 2 + rng.Intn(2)           // 2..3 relations
 	a := r + rng.Intn(5)           // r..r+4 attributes
@@ -91,8 +106,20 @@ func NewCase(seed int64) (*Case, error) {
 		attrs = append(attrs, rel.Schema...)
 	}
 
-	// Constant selections: 0-2, any operator, values around the domain.
+	// One case in three runs on dictionary-encoded strings through a
+	// scrambled alphabet (the permutation makes decoded order disagree with
+	// code order). Drawn before the selections so their operator set can be
+	// restricted; only applied to tuple-result cases (aggregates over codes
+	// have no flat-int reference).
+	useStrings := rng.Intn(3) == 0
+	scramble := rng.Perm(m)
+
+	// Constant selections: 0-2, values around the domain. Any operator for
+	// int cases; EQ/NE when strings are in play.
 	ops := []fdb.CmpOp{fdb.EQ, fdb.NE, fdb.LT, fdb.LE, fdb.GT, fdb.GE}
+	if useStrings {
+		ops = ops[:2]
+	}
 	for i := rng.Intn(3); i > 0; i-- {
 		c.sels = append(c.sels, core.ConstSel{
 			A:  attrs[rng.Intn(len(attrs))],
@@ -125,7 +152,61 @@ func NewCase(seed int64) (*Case, error) {
 			c.project = append(c.project, attrs[i])
 		}
 	}
+	if len(c.aggs) == 0 {
+		// Order-aware retrieval clauses over the output attributes: random
+		// key sets land on tree-compatible and incompatible orders alike, so
+		// both the streaming iterator and the heap fallback are exercised —
+		// with and without Limit/Offset clipping and Distinct.
+		out := attrs
+		if c.project != nil {
+			out = c.project
+		}
+		if rng.Intn(2) == 0 {
+			c.orderBy = gen.RandomOrderBy(rng, out, 3)
+		}
+		if rng.Intn(3) == 0 {
+			c.limit = rng.Intn(25)
+		}
+		if rng.Intn(4) == 0 {
+			c.offset = rng.Intn(8)
+		}
+		if rng.Intn(4) == 0 {
+			c.distinct = true
+		}
+		if useStrings {
+			c.strs = make([]string, m)
+			for v := 1; v <= m; v++ {
+				c.strs[v-1] = fmt.Sprintf("s%03d", scramble[v-1])
+			}
+		}
+	}
 	return c, nil
+}
+
+// codes replays the dictionary assignment the engine performs while the
+// case's tuples are inserted (codes are handed out in first-appearance scan
+// order), returning value → code. Selections bind their constants after the
+// inserts, matching the engine's prepare-time encode order.
+func (c *Case) codes() map[relation.Value]relation.Value {
+	out := map[relation.Value]relation.Value{}
+	next := relation.Value(0)
+	assign := func(v relation.Value) {
+		if _, ok := out[v]; !ok {
+			out[v] = next
+			next++
+		}
+	}
+	for _, rel := range c.rels {
+		for _, t := range rel.Tuples {
+			for _, v := range t {
+				assign(v)
+			}
+		}
+	}
+	for _, s := range c.sels {
+		assign(s.C)
+	}
+	return out
 }
 
 // Check derives the case for seed and runs it at the given parallelism,
@@ -153,7 +234,11 @@ func (c *Case) Run(parallelism int) error {
 		for _, t := range rel.Tuples {
 			vals := make([]interface{}, len(t))
 			for i, v := range t {
-				vals[i] = int64(v)
+				if c.strs != nil {
+					vals[i] = c.strs[v-1]
+				} else {
+					vals[i] = int64(v)
+				}
 			}
 			if err := db.Insert(rel.Name, vals...); err != nil {
 				return fail("insert: %v", err)
@@ -166,7 +251,11 @@ func (c *Case) Run(parallelism int) error {
 		clauses = append(clauses, fdb.Eq(string(e.A), string(e.B)))
 	}
 	for _, s := range c.sels {
-		clauses = append(clauses, fdb.Cmp(string(s.A), s.Op, int64(s.C)))
+		if c.strs != nil {
+			clauses = append(clauses, fdb.Cmp(string(s.A), s.Op, c.strs[s.C-1]))
+		} else {
+			clauses = append(clauses, fdb.Cmp(string(s.A), s.Op, int64(s.C)))
+		}
 	}
 
 	// Oracle: the flat relational engine on the same qualified query.
@@ -190,7 +279,10 @@ func (c *Case) Run(parallelism int) error {
 }
 
 // checkPlain compares the enumerated factorised result with the flat oracle
-// as sorted tuple sets (and the factorised count with the exact set size).
+// as an exact tuple sequence: the oracle's (set-semantics) flat result is
+// sorted with the engine's retrieval comparator — the OrderBy keys first,
+// then every result column ascending — clipped by Offset/Limit, and each
+// position must match (the factorised count must agree too).
 func (c *Case) checkPlain(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relation, fail func(string, ...interface{}) error) error {
 	if c.project != nil {
 		ps := make([]string, len(c.project))
@@ -198,6 +290,26 @@ func (c *Case) checkPlain(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relat
 			ps[i] = string(a)
 		}
 		clauses = append(clauses, fdb.Project(ps...))
+	}
+	if len(c.orderBy) > 0 {
+		keys := make([]interface{}, len(c.orderBy))
+		for i, k := range c.orderBy {
+			if k.Desc {
+				keys[i] = fdb.Desc(string(k.Attr))
+			} else {
+				keys[i] = fdb.Asc(string(k.Attr))
+			}
+		}
+		clauses = append(clauses, fdb.OrderBy(keys...))
+	}
+	if c.distinct {
+		clauses = append(clauses, fdb.Distinct())
+	}
+	if c.offset > 0 {
+		clauses = append(clauses, fdb.Offset(c.offset))
+	}
+	if c.limit >= 0 {
+		clauses = append(clauses, fdb.Limit(c.limit))
 	}
 	res, err := db.Query(clauses...)
 	if err != nil {
@@ -212,23 +324,60 @@ func (c *Case) checkPlain(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relat
 	for _, a := range res.Schema() {
 		gotSchema = append(gotSchema, relation.Attribute(a))
 	}
-	got := relation.New("got", gotSchema)
+	// Reference sequence: the deduplicated oracle tuples in the engine's
+	// column order, sorted by the retrieval comparator, clipped. For string
+	// cases the oracle moves into dictionary-code space first (replaying the
+	// engine's insertion-ordered code assignment) and sorts keys by decoded
+	// string — exactly the contract: keys decoded, residual ties by code.
+	ref := want.Project(gotSchema)
+	var less frep.ValueLess
+	if c.strs != nil {
+		code := c.codes()
+		str := make(map[relation.Value]string, len(code))
+		for v, cd := range code {
+			str[cd] = c.strs[v-1]
+		}
+		for _, t := range ref.Tuples {
+			for i, v := range t {
+				t[i] = code[v]
+			}
+		}
+		less = func(a, b relation.Value) bool { return str[a] < str[b] }
+	}
+	cmp := frep.TupleCompare(gotSchema, c.orderBy, less)
+	sort.SliceStable(ref.Tuples, func(i, j int) bool { return cmp(ref.Tuples[i], ref.Tuples[j]) < 0 })
+	expect := ref.Tuples
+	if c.offset > 0 {
+		if c.offset >= len(expect) {
+			expect = nil
+		} else {
+			expect = expect[c.offset:]
+		}
+	}
+	if c.limit >= 0 && len(expect) > c.limit {
+		expect = expect[:c.limit]
+	}
+
+	var got []relation.Tuple
 	it := res.Iter()
 	for {
 		t, ok := it.Next()
 		if !ok {
 			break
 		}
-		got.AppendTuple(t.Clone())
+		got = append(got, t.Clone())
 	}
-	if int64(got.Cardinality()) != res.Count() {
-		return fail("enumerated %d tuples but Count() = %d", got.Cardinality(), res.Count())
+	if int64(len(got)) != res.Count() {
+		return fail("enumerated %d tuples but Count() = %d", len(got), res.Count())
 	}
-	if got.Cardinality() != want.Cardinality() {
-		return fail("result has %d tuples, oracle %d", got.Cardinality(), want.Cardinality())
+	if len(got) != len(expect) {
+		return fail("result has %d tuples, oracle %d", len(got), len(expect))
 	}
-	if !got.Equal(want.Project(gotSchema)) {
-		return fail("result tuples differ from oracle\nfdb:\n%s\noracle:\n%s", got, want)
+	for i := range got {
+		if got[i].Compare(expect[i]) != 0 {
+			return fail("sequence diverges at position %d: fdb %v, oracle %v (order %v offset %d limit %d distinct %v)",
+				i, got[i], expect[i], c.orderBy, c.offset, c.limit, c.distinct)
+		}
 	}
 	return nil
 }

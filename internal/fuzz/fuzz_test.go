@@ -17,10 +17,12 @@ func parallelisms() []int {
 }
 
 // TestDifferential runs the differential harness over a block of seeds —
-// at least 500 random queries per full package run, each checked at P=1
-// and P=GOMAXPROCS. Failures reproduce with fuzz.Check(seed, p).
+// at least 1500 sequence-compared queries per full package run (750 seeds ×
+// ≥2 parallelism legs), covering OrderBy/Limit/Offset/Distinct alongside
+// joins, selections, projections and aggregates. Failures reproduce with
+// fuzz.Check(seed, p).
 func TestDifferential(t *testing.T) {
-	seeds := 500
+	seeds := 750
 	if testing.Short() {
 		seeds = 60
 	}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/frep"
 	"repro/internal/relation"
 )
 
@@ -142,6 +143,25 @@ func RandomEqualities(rng *rand.Rand, s *Schema, k int) ([]core.Equality, error)
 		eqs = append(eqs, core.Equality{A: a, B: b})
 	}
 	return eqs, nil
+}
+
+// RandomOrderBy draws 1..maxKeys ORDER BY keys over distinct attributes of
+// attrs, each ascending or descending with equal probability — the sort-key
+// generator of the order-aware differential workloads.
+func RandomOrderBy(rng *rand.Rand, attrs []relation.Attribute, maxKeys int) []frep.OrderKey {
+	if len(attrs) == 0 || maxKeys < 1 {
+		return nil
+	}
+	if maxKeys > len(attrs) {
+		maxKeys = len(attrs)
+	}
+	perm := rng.Perm(len(attrs))
+	n := 1 + rng.Intn(maxKeys)
+	keys := make([]frep.OrderKey, 0, n)
+	for _, i := range perm[:n] {
+		keys = append(keys, frep.OrderKey{Attr: attrs[i], Desc: rng.Intn(2) == 1})
+	}
+	return keys
 }
 
 // RandomQuery assembles a full random query: schema, data, equalities.

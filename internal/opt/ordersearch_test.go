@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// twoJoinQuery is the R(a,b) ⋈ S(b,c) shape: classes {a}, {b}, {c}, optimal
+// tree roots the join class b (cost 1); rooting a costs 2.
+func twoJoinQuery() (classes, rels []relation.AttrSet) {
+	classes = []relation.AttrSet{
+		relation.NewAttrSet("a"),
+		relation.NewAttrSet("b", "b2"),
+		relation.NewAttrSet("c"),
+	}
+	rels = []relation.AttrSet{
+		relation.NewAttrSet("a", "b"),
+		relation.NewAttrSet("b2", "c"),
+	}
+	return
+}
+
+func TestOptimalFTreeOrderedMatchesFreeSearchOnEmptyChain(t *testing.T) {
+	classes, rels := twoJoinQuery()
+	ft, fc, err := OptimalFTree(classes, rels, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ot, oc, err := OptimalFTreeOrdered(classes, rels, nil, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != oc || ft.Canonical() != ot.Canonical() {
+		t.Fatalf("empty chain diverges: %v (%.1f) vs %v (%.1f)", ft.Canonical(), fc, ot.Canonical(), oc)
+	}
+}
+
+func TestOptimalFTreeOrderedForcesRoot(t *testing.T) {
+	classes, rels := twoJoinQuery()
+	_, fc, err := OptimalFTree(classes, rels, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != 1 {
+		t.Fatalf("unconstrained cost = %.1f, want 1", fc)
+	}
+	// Chain {a}: the only order-compatible trees root a — cost 2 (both
+	// relations on the a..c path).
+	ot, oc, err := OptimalFTreeOrdered(classes, rels, []int{0}, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ot.Roots) != 1 || !ot.Roots[0].HasAttr("a") {
+		t.Fatalf("chain root not honoured: %v", ot.Canonical())
+	}
+	if oc != 2 {
+		t.Fatalf("ordered cost = %.1f, want 2", oc)
+	}
+	if err := ot.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain {b}: the optimal tree already roots b, so the constrained search
+	// must find the optimum.
+	ot, oc, err = OptimalFTreeOrdered(classes, rels, []int{1}, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != fc || !ot.Roots[0].HasAttr("b") {
+		t.Fatalf("b-rooted search: cost %.1f root %v, want cost %.1f root b", oc, ot.Roots[0].Attrs, fc)
+	}
+}
+
+func TestOptimalFTreeOrderedNestedChain(t *testing.T) {
+	classes, rels := twoJoinQuery()
+	// Chain {a} then {b}: a roots, b must be its first child.
+	ot, _, err := OptimalFTreeOrdered(classes, rels, []int{0, 1}, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ot.Roots[0].HasAttr("a") || len(ot.Roots[0].Children) == 0 || !ot.Roots[0].Children[0].HasAttr("b") {
+		t.Fatalf("nested chain not honoured: %v", ot.Canonical())
+	}
+	if err := ot.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalFTreeOrderedRootHops(t *testing.T) {
+	// Two independent components: {a} and {b}; the chain hops roots.
+	classes := []relation.AttrSet{relation.NewAttrSet("a"), relation.NewAttrSet("b")}
+	rels := []relation.AttrSet{relation.NewAttrSet("a"), relation.NewAttrSet("b")}
+	ot, _, err := OptimalFTreeOrdered(classes, rels, []int{1, 0}, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ot.Roots) != 2 || !ot.Roots[0].HasAttr("b") || !ot.Roots[1].HasAttr("a") {
+		t.Fatalf("root hop not honoured: %v", ot.Canonical())
+	}
+}
+
+func TestOptimalFTreeOrderedIncompatible(t *testing.T) {
+	// {a} is entangled with {c} (shared relation), {b} is independent: after
+	// rooting a, c must sit below it, so no tree streams (a, b).
+	classes := []relation.AttrSet{
+		relation.NewAttrSet("a"),
+		relation.NewAttrSet("b"),
+		relation.NewAttrSet("c"),
+	}
+	rels := []relation.AttrSet{
+		relation.NewAttrSet("a", "c"),
+		relation.NewAttrSet("b"),
+	}
+	_, _, err := OptimalFTreeOrdered(classes, rels, []int{0, 1}, TreeSearchOptions{})
+	if !errors.Is(err, ErrOrderIncompatible) {
+		t.Fatalf("err = %v, want ErrOrderIncompatible", err)
+	}
+	// The reverse chain (b, a) is fine: b is a bare root, then a with c below.
+	ot, _, err := OptimalFTreeOrdered(classes, rels, []int{1, 0}, TreeSearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ot.Roots[0].HasAttr("b") || !ot.Roots[1].HasAttr("a") {
+		t.Fatalf("reverse chain not honoured: %v", ot.Canonical())
+	}
+}
+
+func TestPreferOrdered(t *testing.T) {
+	for _, tc := range []struct {
+		opt, ord float64
+		limited  bool
+		want     bool
+	}{
+		{1, 1, false, true},
+		{1, 1, true, true},
+		{1, 1.5, true, true},   // top-k tolerates half a cover unit
+		{1, 1.5, false, false}, // unbounded scans do not
+		{1, 2, true, false},
+		{2, 1.9, false, true}, // cheaper ordered trees always win
+	} {
+		if got := PreferOrdered(tc.opt, tc.ord, tc.limited); got != tc.want {
+			t.Errorf("PreferOrdered(%v, %v, %v) = %v, want %v", tc.opt, tc.ord, tc.limited, got, tc.want)
+		}
+	}
+}

@@ -185,6 +185,16 @@ func (d *Dict) Decode(v Value) string {
 	return fmt.Sprintf("%d", int64(v))
 }
 
+// Snapshot returns a read-only view of the assigned strings, indexed by
+// code. Codes are append-only and existing entries never change, so the
+// view stays valid (if incomplete) under concurrent Encodes — it lets hot
+// comparison loops avoid a lock round-trip per value.
+func (d *Dict) Snapshot() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.toS[:len(d.toS):len(d.toS)]
+}
+
 // Len returns the number of distinct encoded strings.
 func (d *Dict) Len() int {
 	d.mu.RLock()

@@ -21,6 +21,24 @@ import (
 type Result struct {
 	db  *DB
 	enc *frep.Enc
+	// Ordered retrieval state (OrderBy/Offset/Limit clauses): enumeration
+	// surfaces stream through an order-aware iterator; the representation
+	// itself stays factorised and unsorted.
+	order  []frep.OrderKey
+	offset int
+	limit  int // -1: no limit
+	less   frep.ValueLess
+	// Lazily resolved order plan: the enc actually enumerated (possibly a
+	// sibling-reordered view sharing the arena) and its streaming plan (nil:
+	// bounded-heap sort fallback).
+	ordOnce   sync.Once
+	ordEnc    *frep.Enc
+	ordPlan   *frep.EncOrder
+	ordStream bool
+	// Lazily materialised sort-fallback rows: the sort runs once per result,
+	// every retrieval call replays a fresh cursor over the shared slice.
+	sortOnce sync.Once
+	sortRows []relation.Tuple
 	// Lazily decoded pointer form for Rep(); results are otherwise
 	// immutable and shared freely across goroutines, so the decode is
 	// guarded.
@@ -28,23 +46,103 @@ type Result struct {
 	rep     *frep.FRep
 }
 
+// newResult wraps an encoded representation in an (unordered, unlimited)
+// result. Limit uses -1 as "none", so every construction site must go
+// through here rather than a bare literal.
+func newResult(db *DB, enc *frep.Enc) *Result {
+	return &Result{db: db, enc: enc, limit: -1}
+}
+
+// ordered reports whether retrieval goes through the order/offset/limit
+// machinery.
+func (r *Result) ordered() bool { return len(r.order) > 0 || r.offset > 0 || r.limit >= 0 }
+
+// resolveOrder decides, once, how the ORDER BY streams: directly off the
+// encoding when the keys already label the pre-order prefix; off a
+// sibling-reordered view (Reindex shares the arena) when only the child
+// order is in the way; otherwise the bounded-heap sort fallback.
+func (r *Result) resolveOrder() {
+	r.ordOnce.Do(func() {
+		r.ordEnc = r.enc
+		if len(r.order) == 0 {
+			r.ordStream = true // enumeration order, just clipped
+			return
+		}
+		if p, ok := frep.ResolveOrder(r.enc, r.order, r.less); ok {
+			r.ordPlan, r.ordStream = p, true
+			return
+		}
+		t := r.enc.Tree.Clone()
+		if fplan.ReorderForOrder(t, r.order) {
+			if e2, err := r.enc.Reindex(t); err == nil {
+				if p, ok := frep.ResolveOrder(e2, r.order, r.less); ok {
+					r.ordEnc, r.ordPlan, r.ordStream = e2, p, true
+				}
+			}
+		}
+	})
+}
+
+// OrderStreamed reports whether this result's ordered retrieval streams
+// structurally off the factorised representation (no sort). It is false for
+// unordered results and for the bounded-heap fallback. Unlike the
+// plan-time Stmt.OrderStreamable, this is the exec-time truth: it accounts
+// for any restructuring the projection applied.
+func (r *Result) OrderStreamed() bool {
+	if len(r.order) == 0 {
+		return false
+	}
+	r.resolveOrder()
+	return r.ordStream
+}
+
+// enumEnc returns the encoding enumeration runs over (the sibling-reordered
+// view when ordering required one; schema accessors follow it so rows and
+// column names always agree).
+func (r *Result) enumEnc() *frep.Enc {
+	if !r.ordered() {
+		return r.enc
+	}
+	r.resolveOrder()
+	return r.ordEnc
+}
+
 // Size returns the number of singletons (the paper's |E|).
 func (r *Result) Size() int { return r.enc.Size() }
 
-// Count returns the number of represented tuples.
-func (r *Result) Count() int64 { return r.enc.Count() }
+// Count returns the number of retrievable tuples: the represented count,
+// clipped by Offset and Limit.
+func (r *Result) Count() int64 {
+	c := r.enc.Count()
+	if r.offset > 0 {
+		c -= int64(r.offset)
+		if c < 0 {
+			c = 0
+		}
+	}
+	if r.limit >= 0 && c > int64(r.limit) {
+		c = int64(r.limit)
+	}
+	return c
+}
 
-// Empty reports whether the result is the empty relation.
-func (r *Result) Empty() bool { return r.enc.IsEmpty() }
+// Empty reports whether the result has no tuples (an empty relation, an
+// Offset past the end, or Limit(0)).
+func (r *Result) Empty() bool {
+	if r.enc.IsEmpty() {
+		return true
+	}
+	return r.ordered() && r.Count() == 0
+}
 
 // FlatSize returns Count() times the number of visible attributes: the
-// number of data elements a flat representation would hold. Like Count it
-// saturates at math.MaxInt64 instead of overflowing.
-func (r *Result) FlatSize() int64 { return r.enc.FlatSize() }
+// number of data elements a flat representation of the retrievable result
+// would hold. Like Count it saturates at math.MaxInt64.
+func (r *Result) FlatSize() int64 { return frep.SatMul(r.Count(), int64(len(r.enc.Schema()))) }
 
 // Schema lists the result attributes in enumeration order.
 func (r *Result) Schema() []string {
-	sch := r.enc.Schema()
+	sch := r.enumEnc().Schema()
 	out := make([]string, len(sch))
 	for i, a := range sch {
 		out[i] = string(a)
@@ -53,24 +151,31 @@ func (r *Result) Schema() []string {
 }
 
 // FTree renders the result's factorisation tree.
-func (r *Result) FTree() string { return r.enc.Tree.String() }
+func (r *Result) FTree() string { return r.enumEnc().Tree.String() }
 
 // String renders the factorised representation in the paper's notation,
 // decoding dictionary values (through the cached pointer form — rendering
 // is the one surface that wants the tree shape).
 func (r *Result) String() string { return r.Rep().StringDict(r.db.dict) }
 
-// Each enumerates the tuples (constant delay) as string-decoded rows until
-// fn returns false. The row slice is reused between calls — clone it to
-// retain (Rows does).
+// Each enumerates the tuples as string-decoded rows until fn returns false,
+// honouring OrderBy, Offset and Limit. The row slice is reused between calls
+// — clone it to retain (Rows does).
 func (r *Result) Each(fn func(row []string) bool) {
-	row := make([]string, len(r.enc.Schema()))
-	r.enc.Enumerate(func(t relation.Tuple) bool {
+	it := r.Iter()
+	row := make([]string, len(it.Schema()))
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return
+		}
 		for i, v := range t {
 			row[i] = r.db.dict.Decode(v)
 		}
-		return fn(row)
-	})
+		if !fn(row) {
+			return
+		}
+	}
 }
 
 // Rows materialises up to limit rows (limit <= 0: all).
@@ -95,18 +200,40 @@ func (r *Result) Rep() *frep.FRep {
 	return r.rep
 }
 
-// Iter returns a resumable constant-delay iterator over the result's
-// tuples (raw values; use Each/Rows for dictionary-decoded output). The
-// iterator walks the encoded columns directly and allocates nothing per
-// tuple.
-func (r *Result) Iter() *frep.EncIterator { return frep.NewEncIterator(r.enc) }
+// Iter returns a resumable iterator over the result's tuples (raw values;
+// use Each/Rows for dictionary-decoded output), honouring OrderBy, Offset
+// and Limit. Unordered results and order-compatible OrderBys walk the
+// encoded columns directly with constant delay and no per-tuple allocation
+// (with a Limit, retrieval visits O(offset+limit) entries and stops);
+// incompatible orders materialise through a bounded heap.
+func (r *Result) Iter() frep.TupleIter {
+	if !r.ordered() {
+		return frep.NewEncIterator(r.enc)
+	}
+	r.resolveOrder()
+	if !r.ordStream {
+		r.sortOnce.Do(func() {
+			r.sortRows = frep.SortedRows(r.enc, r.order, r.less, r.offset, r.limit)
+		})
+		return frep.ReplayIter(r.enc.Schema(), r.sortRows)
+	}
+	var inner frep.TupleIter
+	if r.ordPlan != nil {
+		inner = frep.NewOrderedEncIterator(r.ordEnc, r.ordPlan)
+	} else {
+		inner = frep.NewEncIterator(r.ordEnc)
+	}
+	return frep.Clip(inner, r.offset, r.limit)
+}
 
 // IterShards splits the enumeration into n independent iterators over
 // contiguous slices of the enumeration order (the root union is
-// partitioned; draining shard 0, then 1, … reproduces Iter exactly).
-// Results are immutable, so the shards may be drained by n concurrent
-// goroutines — the parallel counterpart of Iter for consumers that want to
-// scan large results with all cores.
+// partitioned; draining shard 0, then 1, … reproduces the unordered Iter
+// exactly). Results are immutable, so the shards may be drained by n
+// concurrent goroutines — the parallel counterpart of Iter for consumers
+// that want to scan large results with all cores. Shards ignore OrderBy,
+// Offset and Limit: they partition the representation, not the ordered
+// stream.
 func (r *Result) IterShards(n int) []*frep.EncIterator { return r.enc.EnumerateShards(n) }
 
 // Where applies equality conditions to the factorised result: the engine
@@ -114,6 +241,9 @@ func (r *Result) IterShards(n int) []*frep.EncIterator { return r.enc.EnumerateS
 // and executes it on the encoded representation (encoded operators are
 // pure, so the receiver is unchanged; a new Result is returned).
 func (r *Result) Where(clauses ...Clause) (*Result, error) {
+	if r.ordered() {
+		return nil, fmt.Errorf("fdb: Where on an ordered/limited result is not supported; apply OrderBy/Limit to the final query")
+	}
 	s, err := compileSpec(modeWhere, clauses)
 	if err != nil {
 		return nil, err
@@ -162,7 +292,7 @@ func (r *Result) Where(clauses ...Clause) (*Result, error) {
 			return nil, err
 		}
 	}
-	return &Result{db: r.db, enc: enc}, nil
+	return newResult(r.db, enc), nil
 }
 
 // Join combines two factorised results over disjoint attributes and applies
@@ -177,11 +307,14 @@ func (r *Result) Join(other *Result, clauses ...Clause) (*Result, error) {
 	if r.db != other.db {
 		return nil, fmt.Errorf("fdb: Join across different DB instances: the dictionary encodings are incompatible")
 	}
+	if r.ordered() || other.ordered() {
+		return nil, fmt.Errorf("fdb: Join of an ordered/limited result is not supported; apply OrderBy/Limit to the final query")
+	}
 	prod, err := fplan.ProductEnc(r.enc, other.enc)
 	if err != nil {
 		return nil, err
 	}
-	joined := &Result{db: r.db, enc: prod}
+	joined := newResult(r.db, prod)
 	if len(clauses) == 0 {
 		return joined, nil
 	}
@@ -190,6 +323,9 @@ func (r *Result) Join(other *Result, clauses ...Clause) (*Result, error) {
 
 // ProjectTo projects the factorised result onto the given attributes.
 func (r *Result) ProjectTo(attrs ...string) (*Result, error) {
+	if r.ordered() {
+		return nil, fmt.Errorf("fdb: ProjectTo on an ordered/limited result is not supported; apply OrderBy/Limit to the final query")
+	}
 	var as []relation.Attribute
 	for _, a := range attrs {
 		as = append(as, relation.Attribute(a))
@@ -198,7 +334,7 @@ func (r *Result) ProjectTo(attrs ...string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{db: r.db, enc: enc}, nil
+	return newResult(r.db, enc), nil
 }
 
 // Table renders the enumerated result (up to limit rows) as an aligned

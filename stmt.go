@@ -23,16 +23,21 @@ import (
 // Prepare are not visible to Exec. Exec is safe for concurrent callers; the
 // shared snapshots are never mutated after Prepare.
 type Stmt struct {
-	db      *DB
-	tree    *ftree.T             // optimal f-tree of the compiled query
-	rels    []*relation.Relation // deduped, pre-filtered, path-sorted snapshots
-	psels   []paramSel           // parameterised selections, bound at Exec
-	params  []string             // distinct parameter names, declaration order
-	project []relation.Attribute // nil: keep all attributes
-	groupBy []relation.Attribute // aggregation statements: group-by attributes
-	aggs    []frep.AggSpec       // aggregation statements: aggregates to compute
-	cost    float64              // s(T) of the optimal f-tree
-	par     int                  // WithParallelism override; 0 = inherit from the DB
+	db         *DB
+	tree       *ftree.T             // optimal f-tree of the compiled query
+	rels       []*relation.Relation // deduped, pre-filtered, path-sorted snapshots
+	psels      []paramSel           // parameterised selections, bound at Exec
+	params     []string             // distinct parameter names, declaration order
+	project    []relation.Attribute // nil: keep all attributes
+	groupBy    []relation.Attribute // aggregation statements: group-by attributes
+	aggs       []frep.AggSpec       // aggregation statements: aggregates to compute
+	order      []frep.OrderKey      // ORDER BY keys; empty: enumeration order
+	offset     int                  // tuples to skip
+	limit      int                  // result cap; -1: none
+	distinct   bool                 // explicit set-semantics normalisation
+	streamable bool                 // the compiled tree streams the ORDER BY
+	cost       float64              // s(T) of the optimal f-tree
+	par        int                  // WithParallelism override; 0 = inherit from the DB
 }
 
 // paramSel is one compiled parameterised selection: column col of input
@@ -120,6 +125,28 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 	if len(s.groupBy) > 0 && len(s.aggs) == 0 {
 		return nil, fmt.Errorf("fdb: GroupBy needs at least one Agg clause")
 	}
+	if len(s.aggs) > 0 && (len(s.orderBy) > 0 || s.limit >= 0 || s.offset > 0 || s.distinct) {
+		return nil, fmt.Errorf("fdb: OrderBy/Limit/Offset/Distinct apply to tuple results; aggregate rows are already sorted by group key")
+	}
+	if len(s.orderBy) > 0 {
+		out := relation.AttrSet{}
+		if s.project != nil {
+			for _, a := range s.project {
+				out.Add(a)
+			}
+		} else {
+			for _, r := range rels {
+				for _, a := range r.Schema {
+					out.Add(a)
+				}
+			}
+		}
+		for _, k := range s.orderBy {
+			if !out.Has(k.Attr) {
+				return nil, fmt.Errorf("fdb: order-by attribute %q not in the result", k.Attr)
+			}
+		}
+	}
 	if len(s.aggs) > 0 {
 		if s.project != nil {
 			return nil, fmt.Errorf("fdb: Project cannot be combined with aggregates (GroupBy defines the output columns)")
@@ -183,23 +210,71 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 			return nil, err
 		}
 	}
+	// Order-aware planning: sibling and root order are semantically free, so
+	// first try to reorder the optimal tree until the ORDER BY keys label the
+	// front of its pre-order walk (streaming order, no sort). If the shape
+	// itself is in the way, search for the cheapest order-compatible tree and
+	// take it when the cost model approves — equal cost always, half a cover
+	// unit of slack when a Limit makes top-k short-circuiting worth it.
+	// Otherwise the statement keeps the optimal tree and retrieval falls back
+	// to a bounded heap at Exec time.
+	streamable := false
+	if len(s.orderBy) > 0 {
+		// A successful reorder is verified against the order property it
+		// claims to establish.
+		streamable = fplan.ReorderForOrder(tr, s.orderBy) && fplan.OrderCompatible(tr, s.orderBy)
+		if !streamable {
+			chain := orderChain(q, s.orderBy)
+			if ot, ocost, oerr := opt.OptimalFTreeOrdered(q.Classes(), q.Schemas(), chain, opt.TreeSearchOptions{}); oerr == nil &&
+				opt.PreferOrdered(cost, ocost, s.limit >= 0) && fplan.ReorderForOrder(ot, s.orderBy) {
+				tr, cost = ot, ocost
+				streamable = true
+			}
+		}
+	}
 	// Sort every snapshot in its f-tree path order once; Exec-time builds
 	// then see pre-sorted inputs and never mutate the shared snapshots.
 	if err := fbuild.SortFor(q.Relations, tr); err != nil {
 		return nil, err
 	}
 	return &Stmt{
-		db:      db,
-		tree:    tr,
-		rels:    q.Relations,
-		psels:   psels,
-		params:  params,
-		project: s.project,
-		groupBy: s.groupBy,
-		aggs:    s.aggs,
-		cost:    cost,
-		par:     s.par,
+		db:         db,
+		tree:       tr,
+		rels:       q.Relations,
+		psels:      psels,
+		params:     params,
+		project:    s.project,
+		groupBy:    s.groupBy,
+		aggs:       s.aggs,
+		order:      s.orderBy,
+		offset:     s.offset,
+		limit:      s.limit,
+		distinct:   s.distinct,
+		streamable: streamable,
+		cost:       cost,
+		par:        s.par,
 	}, nil
+}
+
+// orderChain maps the ORDER BY keys to their attribute-class indices, in key
+// order with repeats dropped — the chain OptimalFTreeOrdered pins to the
+// front of the pre-order walk.
+func orderChain(q *core.Query, keys []frep.OrderKey) []int {
+	classes := q.Classes()
+	var chain []int
+	seen := map[int]bool{}
+	for _, k := range keys {
+		for i, c := range classes {
+			if c.Has(k.Attr) {
+				if !seen[i] {
+					seen[i] = true
+					chain = append(chain, i)
+				}
+				break
+			}
+		}
+	}
+	return chain
 }
 
 // parallelism resolves the worker count for one execution: the statement's
@@ -228,6 +303,13 @@ func (st *Stmt) Aggregates() []string {
 // Cost returns the cost s(T) of the statement's optimal f-tree.
 func (st *Stmt) Cost() float64 { return st.cost }
 
+// OrderStreamable reports whether the compiled f-tree streams the
+// statement's ORDER BY structurally (no sort; Limit short-circuits). It is
+// trivially false without an OrderBy clause. A projection applied at Exec
+// time can still restructure the tree, in which case retrieval re-checks and
+// may fall back to the bounded-heap sort.
+func (st *Stmt) OrderStreamable() bool { return st.streamable }
+
 // FTree renders the statement's compiled f-tree.
 func (st *Stmt) FTree() string { return st.tree.String() }
 
@@ -248,7 +330,22 @@ func (st *Stmt) ExecContext(ctx context.Context, args ...NamedArg) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return &Result{db: st.db, enc: fr}, nil
+	if st.distinct {
+		// Projection already yields set semantics; δ normalises and makes the
+		// guarantee explicit (a no-op pass on every engine-built rep).
+		fr, err = fplan.ApplyEnc(fplan.Distinct{}, fr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := newResult(st.db, fr)
+	if len(st.order) > 0 || st.offset > 0 || st.limit >= 0 {
+		res.order = st.order
+		res.offset = st.offset
+		res.limit = st.limit
+		res.less = st.db.orderLess()
+	}
+	return res, nil
 }
 
 // ExecAgg runs a compiled aggregation statement (one with Agg clauses,
