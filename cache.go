@@ -16,8 +16,10 @@ type CacheStats struct {
 }
 
 // planCache is an LRU map from canonical query fingerprint to compiled
-// statement. An entry is only served while the data versions of every
-// involved relation still match; stale entries are evicted on lookup.
+// statement. Entries survive data writes: cached statements refresh their
+// snapshots incrementally from the relations' delta chains, so invalidation
+// is reserved for schema-level changes (a relation name reappearing in the
+// catalogue), keyed by the relation names each plan reads.
 type planCache struct {
 	mu           sync.Mutex
 	cap          int
@@ -27,9 +29,9 @@ type planCache struct {
 }
 
 type cacheEntry struct {
-	key  string
-	stmt *Stmt
-	vers map[string]uint64
+	key   string
+	stmt  *Stmt
+	names map[string]bool // relations the plan reads
 }
 
 func newPlanCache(cap int) *planCache {
@@ -42,35 +44,34 @@ func (c *planCache) capacity() int {
 	return c.cap
 }
 
-func (c *planCache) get(key string, vers map[string]uint64) (*Stmt, bool) {
+func (c *planCache) get(key string) (*Stmt, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		e := el.Value.(*cacheEntry)
-		if versEqual(e.vers, vers) {
-			c.ll.MoveToFront(el)
-			c.hits++
-			return e.stmt, true
-		}
-		c.ll.Remove(el)
-		delete(c.byKey, key)
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).stmt, true
 	}
 	c.misses++
 	return nil, false
 }
 
-func (c *planCache) put(key string, stmt *Stmt, vers map[string]uint64) {
+func (c *planCache) put(key string, stmt *Stmt, names []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
 		return
 	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
 	if el, ok := c.byKey[key]; ok {
-		el.Value = &cacheEntry{key: key, stmt: stmt, vers: vers}
+		el.Value = &cacheEntry{key: key, stmt: stmt, names: set}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, stmt: stmt, vers: vers})
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, stmt: stmt, names: set})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -78,14 +79,15 @@ func (c *planCache) put(key string, stmt *Stmt, vers map[string]uint64) {
 	}
 }
 
-// invalidate evicts every entry whose plan reads the named relation, so a
-// write releases the stale data snapshots immediately instead of leaving
-// them resident until the same fingerprint is queried again.
+// invalidate evicts every entry whose plan reads the named relation. Data
+// writes never call this (statements self-refresh per delta); it fires on
+// schema-level changes — a name entering the catalogue — so a plan compiled
+// against a former universe of relations can never serve the new one.
 func (c *planCache) invalidate(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for key, el := range c.byKey {
-		if _, ok := el.Value.(*cacheEntry).vers[name]; ok {
+		if el.Value.(*cacheEntry).names[name] {
 			c.ll.Remove(el)
 			delete(c.byKey, key)
 		}
@@ -110,16 +112,4 @@ func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
-}
-
-func versEqual(a, b map[string]uint64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
 }

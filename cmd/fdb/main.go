@@ -22,11 +22,19 @@
 // A -where value of the form $name compiles to a statement parameter bound
 // by a matching -param name=value flag.
 //
+// -insert Rel:v1,v2 / -delete Rel:v1,v2 / -upsert Rel:k:v1,v2 mutate the
+// loaded relations before the query runs (upsert replaces live tuples
+// matching the first k columns).
+//
 // With -i, fdb starts an interactive REPL over the loaded relations:
 //
 //	fdb> prepare q1 from Orders,Store eq Orders.item=Store.item where Orders.oid<=$n
 //	fdb> exec q1 n=3
 //	fdb> query from Orders orderby -Orders.item limit 3
+//	fdb> insert Orders o9 Milk
+//	fdb> snapshot s1
+//	fdb> squery s1 from Orders
+//	fdb> release s1
 //	fdb> stats
 //
 // A relation file's first line is "Name<TAB>attr1<TAB>attr2…"; every other
@@ -82,6 +90,10 @@ func run(argv []string, in io.Reader, out io.Writer) error {
 	distinct := fs.Bool("distinct", false, "deduplicate the result on the factorised form (explicit set semantics)")
 	rows := fs.Int("rows", 10, "result rows to print (0: all)")
 	interactive := fs.Bool("i", false, "start an interactive REPL after loading")
+	var inserts, deletes, upserts multiFlag
+	fs.Var(&inserts, "insert", "insert a tuple Rel:v1,v2,... before the query (repeatable)")
+	fs.Var(&deletes, "delete", "delete a tuple Rel:v1,v2,... before the query (repeatable)")
+	fs.Var(&upserts, "upsert", "upsert a tuple Rel:k:v1,v2,... replacing live tuples that match on the first k columns (repeatable)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -91,6 +103,9 @@ func run(argv []string, in io.Reader, out io.Writer) error {
 		if _, err := db.LoadTSV(f); err != nil {
 			return err
 		}
+	}
+	if err := applyWrites(db, inserts, deletes, upserts); err != nil {
+		return err
 	}
 	if *interactive {
 		repl(db, *rows, in, out)
@@ -239,6 +254,62 @@ func parseConst(val string) interface{} {
 	return val
 }
 
+// applyWrites applies the -insert/-delete/-upsert flags, in that flag
+// order, before the query runs: the printed result reflects the writes
+// (read-your-writes through the same path the REPL verbs use).
+func applyWrites(db *fdb.DB, inserts, deletes, upserts []string) error {
+	for _, tok := range inserts {
+		name, vals, err := parseTuple(tok)
+		if err != nil {
+			return fmt.Errorf("bad -insert %q: %v", tok, err)
+		}
+		if err := db.Insert(name, vals...); err != nil {
+			return err
+		}
+	}
+	for _, tok := range deletes {
+		name, vals, err := parseTuple(tok)
+		if err != nil {
+			return fmt.Errorf("bad -delete %q: %v", tok, err)
+		}
+		if err := db.Delete(name, vals...); err != nil {
+			return err
+		}
+	}
+	for _, tok := range upserts {
+		parts := strings.SplitN(tok, ":", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -upsert %q (want Rel:k:v1,v2,...)", tok)
+		}
+		key, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return fmt.Errorf("bad -upsert key count %q", parts[1])
+		}
+		vals := parseValues(strings.Split(parts[2], ","))
+		if err := db.Upsert(parts[0], key, vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTuple parses Rel:v1,v2,... into a relation name and encoded values.
+func parseTuple(tok string) (string, []interface{}, error) {
+	parts := strings.SplitN(tok, ":", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", nil, fmt.Errorf("want Rel:v1,v2,...")
+	}
+	return parts[0], parseValues(strings.Split(parts[1], ",")), nil
+}
+
+func parseValues(tokens []string) []interface{} {
+	vals := make([]interface{}, len(tokens))
+	for i, v := range tokens {
+		vals[i] = parseConst(v)
+	}
+	return vals
+}
+
 // parseArgs turns name=value tokens into Exec arguments.
 func parseArgs(tokens []string) ([]fdb.NamedArg, error) {
 	var args []fdb.NamedArg
@@ -279,6 +350,13 @@ const replHelp = `commands:
   prepare <name> <query>           compile a statement ($x in where = parameter)
   exec <name> [k=v ...]            run a prepared statement
   query <query>                    run an ad-hoc query (through the plan cache)
+  insert <Rel> v1 v2 ...           add a tuple (set semantics; visible to the next query)
+  delete <Rel> v1 v2 ...           remove the exact tuple (absent: no-op)
+  upsert <Rel> <k> v1 v2 ...       insert, first removing live tuples matching the first k columns
+  snapshot <name>                  pin a consistent read view of the database
+  squery <name> <query>            run a query against a pinned snapshot
+  release <name>                   close a snapshot (its queries then fail)
+  compact <Rel>                    fold the relation's delta chain into a fresh base
   stats                            plan cache statistics
   help | quit
 query syntax:
@@ -293,6 +371,7 @@ group, computed in a single pass over the factorised result.`
 // repl reads commands from in until EOF or quit.
 func repl(db *fdb.DB, rows int, in io.Reader, out io.Writer) {
 	stmts := map[string]*fdb.Stmt{}
+	snaps := map[string]*fdb.Snapshot{}
 	sc := bufio.NewScanner(in)
 	fmt.Fprintln(out, "fdb interactive — 'help' for commands")
 	for {
@@ -328,6 +407,20 @@ func repl(db *fdb.DB, rows int, in io.Reader, out io.Writer) {
 			err = replExec(stmts, rest, rows, out)
 		case "query":
 			err = replQuery(db, rest, rows, out)
+		case "insert", "delete", "upsert":
+			err = replWrite(db, cmd, rest, out)
+		case "snapshot":
+			err = replSnapshot(db, snaps, rest, out)
+		case "squery":
+			err = replSnapQuery(snaps, rest, rows, out)
+		case "release":
+			err = replRelease(snaps, rest, out)
+		case "compact":
+			if len(rest) != 1 {
+				err = fmt.Errorf("usage: compact <Rel>")
+			} else if err = db.Compact(rest[0]); err == nil {
+				fmt.Fprintf(out, "  compacted %s (version %d)\n", rest[0], db.Version())
+			}
 		case "stats":
 			s := db.CacheStats()
 			fmt.Fprintf(out, "  plan cache: %d entries, %d hits, %d misses\n", s.Entries, s.Hits, s.Misses)
@@ -398,6 +491,97 @@ func replExec(stmts map[string]*fdb.Stmt, rest []string, rows int, out io.Writer
 		return err
 	}
 	report(out, res, rows)
+	return nil
+}
+
+// replWrite handles the insert/delete/upsert verbs. Writes commit
+// immediately: the next query (prepared or ad-hoc, cached or fresh) sees
+// them, while pinned snapshots keep their view.
+func replWrite(db *fdb.DB, verb string, rest []string, out io.Writer) error {
+	switch verb {
+	case "insert":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: insert <Rel> v1 v2 ...")
+		}
+		if err := db.Insert(rest[0], parseValues(rest[1:])...); err != nil {
+			return err
+		}
+	case "delete":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: delete <Rel> v1 v2 ...")
+		}
+		if err := db.Delete(rest[0], parseValues(rest[1:])...); err != nil {
+			return err
+		}
+	case "upsert":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: upsert <Rel> <keycols> v1 v2 ...")
+		}
+		key, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad key column count %q", rest[1])
+		}
+		if err := db.Upsert(rest[0], key, parseValues(rest[2:])...); err != nil {
+			return err
+		}
+	}
+	r, _ := db.Relation(rest[0])
+	fmt.Fprintf(out, "  %s %s: now %d tuples (version %d)\n", verb, rest[0], r.Cardinality(), db.Version())
+	return nil
+}
+
+func replSnapshot(db *fdb.DB, snaps map[string]*fdb.Snapshot, rest []string, out io.Writer) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: snapshot <name>")
+	}
+	if old, ok := snaps[rest[0]]; ok {
+		old.Close()
+	}
+	snaps[rest[0]] = db.Snapshot()
+	fmt.Fprintf(out, "  snapshot %s pinned at version %d\n", rest[0], snaps[rest[0]].Version())
+	return nil
+}
+
+func replSnapQuery(snaps map[string]*fdb.Snapshot, rest []string, rows int, out io.Writer) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: squery <snapshot> <query>")
+	}
+	snap, ok := snaps[rest[0]]
+	if !ok {
+		return fmt.Errorf("no snapshot %q", rest[0])
+	}
+	clauses, hasAgg, err := parseQuery(rest[1:])
+	if err != nil {
+		return err
+	}
+	if hasAgg {
+		ar, err := snap.QueryAgg(clauses...)
+		if err != nil {
+			return err
+		}
+		reportAgg(out, ar, rows)
+		return nil
+	}
+	res, err := snap.Query(clauses...)
+	if err != nil {
+		return err
+	}
+	report(out, res, rows)
+	return nil
+}
+
+func replRelease(snaps map[string]*fdb.Snapshot, rest []string, out io.Writer) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: release <name>")
+	}
+	snap, ok := snaps[rest[0]]
+	if !ok {
+		return fmt.Errorf("no snapshot %q", rest[0])
+	}
+	// The name stays bound to the closed snapshot: a later squery surfaces
+	// the engine's closed-snapshot error instead of a lookup failure.
+	snap.Close()
+	fmt.Fprintf(out, "  snapshot %s released\n", rest[0])
 	return nil
 }
 

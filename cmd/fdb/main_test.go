@@ -111,6 +111,101 @@ func TestREPLOrderedVerbs(t *testing.T) {
 	}
 }
 
+// TestWriteSnapshotGolden locks the write/snapshot REPL flow down byte for
+// byte: read-your-writes (insert/upsert/delete visible to the next query),
+// snapshot isolation (a pinned snapshot keeps its rows across writes and a
+// compaction), and the loud failure of a released snapshot. Regenerate with
+// `go test ./cmd/fdb -run Golden -update`.
+func TestWriteSnapshotGolden(t *testing.T) {
+	orders, store, disp := writeTSVs(t)
+	script := strings.Join([]string{
+		"load " + orders,
+		"load " + store,
+		"load " + disp,
+		"query from Orders orderby Orders.oid,Orders.item",
+		"insert Orders o4 Milk",
+		"query from Orders orderby Orders.oid,Orders.item",
+		"snapshot s1",
+		"insert Orders o5 Melon",
+		"upsert Orders 1 o1 Bread",
+		"delete Orders o2 Melon",
+		"compact Orders",
+		"squery s1 from Orders orderby Orders.oid,Orders.item",
+		"query from Orders orderby Orders.oid,Orders.item",
+		"release s1",
+		"squery s1 from Orders",
+		"quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := run([]string{"-i", "-rows", "0"}, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "writes_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("write/snapshot output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+	}
+	// The released snapshot must have failed loudly, not served data.
+	if !strings.Contains(out.String(), "error: fdb: snapshot closed") {
+		t.Fatalf("released snapshot did not fail loudly:\n%s", out.String())
+	}
+	// Stability across runs.
+	var again bytes.Buffer
+	if err := run([]string{"-i", "-rows", "0"}, strings.NewReader(script), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("two identical invocations printed different output")
+	}
+}
+
+// TestWriteFlags drives the one-shot -insert/-delete/-upsert flags.
+func TestWriteFlags(t *testing.T) {
+	orders, _, _ := writeTSVs(t)
+	var out bytes.Buffer
+	args := []string{
+		"-load", orders,
+		"-insert", "Orders:o9,Bread",
+		"-delete", "Orders:o2,Melon",
+		"-upsert", "Orders:1:o1,Butter",
+		"-from", "Orders",
+		"-orderby", "Orders.oid,Orders.item",
+		"-rows", "0",
+	}
+	if err := run(args, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"o9\tBread", "o1\tButter"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("written rows missing %q:\n%s", want, s)
+		}
+	}
+	for _, gone := range []string{"o2\tMelon", "o1\tMilk", "o1\tCheese"} {
+		if strings.Contains(s, gone) {
+			t.Fatalf("deleted/displaced row %q still printed:\n%s", gone, s)
+		}
+	}
+	// Malformed write flags error out.
+	for name, bad := range map[string][]string{
+		"insert":     {"-load", orders, "-insert", "Orders", "-from", "Orders"},
+		"upsert":     {"-load", orders, "-upsert", "Orders:o1,Milk", "-from", "Orders"},
+		"upsert key": {"-load", orders, "-upsert", "Orders:x:o1,Milk", "-from", "Orders"},
+	} {
+		if err := run(bad, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: malformed flag accepted", name)
+		}
+	}
+}
+
 // TestRunErrors: the CLI surfaces clause errors instead of printing.
 func TestRunErrors(t *testing.T) {
 	orders, _, _ := writeTSVs(t)

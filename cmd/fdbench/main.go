@@ -11,6 +11,7 @@
 //	fdbench -exp 7            # arena-backed columnar encoding vs pointer form
 //	fdbench -exp 8            # morsel-parallel execution: speedup vs worker count
 //	fdbench -exp 9            # ordered top-k (ORDER BY + LIMIT) vs flat sort-then-cut
+//	fdbench -exp 10           # write throughput: incremental delta merge vs full rebuild
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-9; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-10; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -49,6 +50,7 @@ func main() {
 		exp7(*seed, *runs)
 		exp8(*seed, *runs)
 		exp9(*seed, *runs)
+		exp10(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -67,8 +69,10 @@ func main() {
 		exp8(*seed, *runs)
 	case 9:
 		exp9(*seed, *runs)
+	case 10:
+		exp10(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..9")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..10")
 		os.Exit(2)
 	}
 }
@@ -353,6 +357,61 @@ func exp9(seed int64, runs int) {
 	}
 	for _, length := range []int{4, 5, 6} {
 		run(bench.Experiment9Chain, length, 10)
+	}
+}
+
+func exp10(seed int64, runs int) {
+	fmt.Println("# Experiment 10: write throughput — batch insert + incremental statement refresh vs full rebuild")
+	fmt.Println("# workload scale frac base_rows delta_rows result_tuples insert_ms merge_ms rebuild_ms speedup")
+	rng := rand.New(rand.NewSource(seed))
+	for _, scale := range []int{2, 4, 8} {
+		acc := map[float64]*bench.Exp10Row{}
+		var fracs []float64
+		n := 0
+		for i := 0; i < runs; i++ {
+			rows, err := bench.Experiment10Writes(rng, bench.Exp10Config{Scale: scale})
+			if err != nil {
+				// The experiment doubles as the merged-vs-rebuilt parity check
+				// CI runs; its failure must fail the process.
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				os.Exit(1)
+			}
+			for i := range rows {
+				r := rows[i]
+				a, ok := acc[r.Frac]
+				if !ok {
+					acc[r.Frac] = &r
+					fracs = append(fracs, r.Frac)
+					continue
+				}
+				a.Tuples += r.Tuples
+				a.InsertMS += r.InsertMS
+				a.MergeMS += r.MergeMS
+				a.RebuildMS += r.RebuildMS
+			}
+			n++
+		}
+		f := float64(n)
+		for _, frac := range fracs {
+			r := acc[frac]
+			speedup := 0.0
+			if inc := r.InsertMS + r.MergeMS; inc > 0 {
+				speedup = r.RebuildMS / inc
+			}
+			fmt.Printf("%s %d %.2f %d %d %d %.3f %.3f %.3f %.1f\n",
+				r.Workload, scale, frac, r.BaseRows, r.DeltaRows, r.Tuples/int64(n),
+				r.InsertMS/f, r.MergeMS/f, r.RebuildMS/f, speedup)
+		}
+	}
+	fmt.Println("# mixed read/write (90/10): ops writes read_p50_ms read_p99_ms write_p50_ms cache_hit_rate")
+	for _, scale := range []int{2, 4} {
+		row, err := bench.Experiment10Mixed(rng, bench.Exp10Config{Scale: scale, Ops: 300})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("retailer %d %d %d %.3f %.3f %.3f %.3f\n",
+			scale, row.Ops, row.Writes, row.ReadP50MS, row.ReadP99MS, row.WriteP50MS, row.CacheHitRate)
 	}
 }
 

@@ -9,34 +9,39 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/csvio"
+	"repro/internal/delta"
 	"repro/internal/frep"
 	"repro/internal/relation"
 )
 
 // DB is an in-memory factorised database: named relations plus a shared
-// string dictionary. A DB is safe for concurrent use: writers
-// (Create/Insert/LoadTSV) take the write lock, while Query, Prepare and
-// Stmt.Exec work on copy-on-prepare snapshots under the read lock.
+// string dictionary. Each relation lives in a delta.Store — an append-only
+// chain of immutable versions (base snapshot + delta batches) behind an
+// atomic pointer — so readers never block writers: Query, Prepare and
+// Stmt.Exec read a consistent version lock-free while Insert/Delete/Upsert
+// append under the write lock, and Snapshot pins a database-wide version
+// for as long as the caller holds it.
 type DB struct {
-	mu    sync.RWMutex
-	dict  *relation.Dict
-	rels  map[string]*relation.Relation
-	ord   []string
-	vers  map[string]uint64 // per-relation data version, for cache validity
-	cache *planCache
+	mu     sync.RWMutex
+	dict   *relation.Dict
+	stores map[string]*delta.Store
+	ord    []string
+	ver    uint64 // global write version; bumps once per committed mutation
+	cache  *planCache
 	// par is the database-wide execution parallelism; 0 means "default",
 	// resolved to runtime.GOMAXPROCS(0) at execution time. Read atomically
 	// so Exec never contends with SetParallelism.
 	par atomic.Int32
+	// snaps counts open snapshots (diagnostics; see OpenSnapshots).
+	snaps atomic.Int64
 }
 
 // New returns an empty database.
 func New() *DB {
 	return &DB{
-		dict:  relation.NewDict(),
-		rels:  map[string]*relation.Relation{},
-		vers:  map[string]uint64{},
-		cache: newPlanCache(defaultPlanCacheCap),
+		dict:   relation.NewDict(),
+		stores: map[string]*delta.Store{},
+		cache:  newPlanCache(defaultPlanCacheCap),
 	}
 }
 
@@ -45,7 +50,7 @@ func New() *DB {
 func (db *DB) Create(name string, attrs ...string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.rels[name]; ok {
+	if _, ok := db.stores[name]; ok {
 		return fmt.Errorf("fdb: relation %q already exists", name)
 	}
 	if len(attrs) == 0 {
@@ -58,9 +63,10 @@ func (db *DB) Create(name string, attrs ...string) error {
 	if err := sch.Validate(); err != nil {
 		return err
 	}
-	db.rels[name] = relation.New(name, sch)
+	db.ver++
+	db.stores[name] = delta.NewStore(name, sch, db.ver)
 	db.ord = append(db.ord, name)
-	db.vers[name]++
+	db.cache.invalidate(name)
 	return nil
 }
 
@@ -71,32 +77,13 @@ func (db *DB) MustCreate(name string, attrs ...string) {
 	}
 }
 
-// Insert appends one tuple; values may be int, int64 or string (strings are
-// dictionary-encoded). Prepared statements snapshot their inputs, so an
-// Insert is visible to statements prepared (and ad-hoc queries issued)
-// after it returns.
+// Insert adds one tuple; values may be int, int64 or string (strings are
+// dictionary-encoded). Writes commit as delta batches: running statements
+// and open snapshots keep reading the version they hold, while statements
+// executed after Insert returns see the new tuple (read-your-writes —
+// prepared statements refresh their inputs incrementally per Exec).
 func (db *DB) Insert(name string, values ...interface{}) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	r, ok := db.rels[name]
-	if !ok {
-		return fmt.Errorf("fdb: unknown relation %q", name)
-	}
-	if len(values) != len(r.Schema) {
-		return fmt.Errorf("fdb: relation %q has arity %d, got %d values", name, len(r.Schema), len(values))
-	}
-	t := make(relation.Tuple, len(values))
-	for i, v := range values {
-		val, err := db.encode(v)
-		if err != nil {
-			return err
-		}
-		t[i] = val
-	}
-	r.AppendTuple(t)
-	db.vers[name]++
-	db.cache.invalidate(name)
-	return nil
+	return db.InsertBatch(name, [][]interface{}{values})
 }
 
 // MustInsert is Insert, panicking on error.
@@ -105,6 +92,133 @@ func (db *DB) MustInsert(name string, values ...interface{}) {
 		panic(err)
 	}
 }
+
+// InsertBatch adds many tuples in one committed batch (one version bump,
+// one delta for readers to merge). Set semantics: inserting a tuple that is
+// already present is a no-op.
+func (db *DB) InsertBatch(name string, rows [][]interface{}) error {
+	return db.mutate(name, rows, nil, 0)
+}
+
+// Delete removes the exact tuple (all columns must match); removing an
+// absent tuple is a no-op, per set semantics.
+func (db *DB) Delete(name string, values ...interface{}) error {
+	return db.DeleteBatch(name, [][]interface{}{values})
+}
+
+// DeleteBatch removes many tuples in one committed batch.
+func (db *DB) DeleteBatch(name string, rows [][]interface{}) error {
+	return db.mutate(name, nil, rows, 0)
+}
+
+// Upsert inserts the tuple, first removing every live tuple that agrees
+// with it on the first keyCols columns (the relation's key prefix). One
+// committed batch: removals apply before the insertion.
+func (db *DB) Upsert(name string, keyCols int, values ...interface{}) error {
+	return db.UpsertBatch(name, keyCols, [][]interface{}{values})
+}
+
+// UpsertBatch upserts many tuples in one committed batch.
+func (db *DB) UpsertBatch(name string, keyCols int, rows [][]interface{}) error {
+	if keyCols < 1 {
+		return fmt.Errorf("fdb: upsert needs at least one key column, got %d", keyCols)
+	}
+	return db.mutate(name, rows, nil, keyCols)
+}
+
+// mutate is the shared write path: encode the rows, derive the delta batch
+// (upserts scan the live version for key-prefix matches to remove), bump
+// the global version and publish the relation's successor state.
+func (db *DB) mutate(name string, addRows, delRows [][]interface{}, upsertKey int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.stores[name]
+	if !ok {
+		return fmt.Errorf("fdb: unknown relation %q", name)
+	}
+	if upsertKey > len(s.Schema) {
+		return fmt.Errorf("fdb: relation %q has arity %d, upsert key has %d columns", name, len(s.Schema), upsertKey)
+	}
+	encodeRows := func(rows [][]interface{}) ([]relation.Tuple, error) {
+		out := make([]relation.Tuple, 0, len(rows))
+		for _, row := range rows {
+			if len(row) != len(s.Schema) {
+				return nil, fmt.Errorf("fdb: relation %q has arity %d, got %d values", name, len(s.Schema), len(row))
+			}
+			t := make(relation.Tuple, len(row))
+			for i, v := range row {
+				val, err := db.encode(v)
+				if err != nil {
+					return nil, err
+				}
+				t[i] = val
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	adds, err := encodeRows(addRows)
+	if err != nil {
+		return err
+	}
+	dels, err := encodeRows(delRows)
+	if err != nil {
+		return err
+	}
+	if upsertKey > 0 {
+		// Remove the live tuples each upserted tuple displaces. Within the
+		// batch removals apply before additions, so upserting an unchanged
+		// tuple keeps it.
+		live := s.State().Live()
+		for _, a := range adds {
+			for _, t := range live.Tuples {
+				match := true
+				for c := 0; c < upsertKey; c++ {
+					if t[c] != a[c] {
+						match = false
+						break
+					}
+				}
+				if match {
+					dels = append(dels, t)
+				}
+			}
+		}
+	}
+	if len(adds) == 0 && len(dels) == 0 {
+		return nil
+	}
+	db.ver++
+	s.Apply(adds, dels, db.ver)
+	return nil
+}
+
+// Compact folds the named relation's delta chain into a fresh materialised
+// base at the current version. Open snapshots and running statements keep
+// their pinned versions (their arenas stay alive for as long as they are
+// referenced); statements whose held version predates the new base
+// re-snapshot on their next Exec instead of merging.
+func (db *DB) Compact(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.stores[name]
+	if !ok {
+		return fmt.Errorf("fdb: unknown relation %q", name)
+	}
+	s.Compact()
+	return nil
+}
+
+// Version returns the database's current write version (bumps once per
+// committed mutation).
+func (db *DB) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ver
+}
+
+// OpenSnapshots reports the number of snapshots pinned and not yet closed.
+func (db *DB) OpenSnapshots() int { return int(db.snaps.Load()) }
 
 // LoadTSV reads one relation from a tab-separated file (first line
 // "Name<TAB>attr…", see internal/csvio) into the database and returns its
@@ -116,27 +230,27 @@ func (db *DB) LoadTSV(path string) (string, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.rels[rel.Name]; ok {
+	if _, ok := db.stores[rel.Name]; ok {
 		return "", fmt.Errorf("fdb: relation %q already exists", rel.Name)
 	}
-	db.rels[rel.Name] = rel
+	db.ver++
+	db.stores[rel.Name] = delta.FromRelation(rel, db.ver)
 	db.ord = append(db.ord, rel.Name)
-	db.vers[rel.Name]++
 	db.cache.invalidate(rel.Name)
 	return rel.Name, nil
 }
 
-// SaveTSV writes a stored relation to a tab-separated file. The read lock
-// is held for the duration of the write, so the file is a consistent
-// snapshot even under concurrent inserts.
+// SaveTSV writes a stored relation to a tab-separated file. The relation's
+// current version is immutable, so the file is a consistent snapshot even
+// under concurrent writes.
 func (db *DB) SaveTSV(path, name string) error {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, ok := db.rels[name]
+	s, ok := db.stores[name]
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("fdb: unknown relation %q", name)
 	}
-	return csvio.WriteFile(path, r, db.dict)
+	return csvio.WriteFile(path, s.State().Live(), db.dict)
 }
 
 // Relations lists the relation names in creation order.
@@ -146,19 +260,20 @@ func (db *DB) Relations() []string {
 	return append([]string(nil), db.ord...)
 }
 
-// Relation exposes a snapshot of a stored relation. The snapshot has its
-// own tuple-slice header (safe to read while concurrent Inserts append)
-// but shares tuple storage with the database — treat it as read-only; do
-// not sort, dedup or otherwise mutate it in place.
+// Relation exposes a snapshot of a stored relation at its current version.
+// The snapshot has its own tuple-slice header but shares tuple storage with
+// the version chain — treat it as read-only; do not sort, dedup or
+// otherwise mutate it in place.
 func (db *DB) Relation(name string) (*relation.Relation, bool) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, ok := db.rels[name]
+	s, ok := db.stores[name]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	snap := relation.New(r.Name, r.Schema)
-	snap.Tuples = r.Tuples[:len(r.Tuples):len(r.Tuples)]
+	live := s.State().Live()
+	snap := relation.New(live.Name, live.Schema)
+	snap.Tuples = live.Tuples[:len(live.Tuples):len(live.Tuples)]
 	return snap, true
 }
 
@@ -175,6 +290,8 @@ func (db *DB) Dict() *relation.Dict { return db.dict }
 // compiled plan is looked up in (and inserted into) an internal LRU cache
 // keyed by the query's canonical fingerprint, so repeating the same query
 // skips clause validation, input dedup, f-tree search and input sorting.
+// Writes do not evict cached plans — a cached statement refreshes its data
+// incrementally from the relations' delta chains per execution.
 // CacheStats exposes the hit counters. Queries with Param placeholders are
 // rejected — use Prepare and Exec to bind them.
 func (db *DB) Query(clauses ...Clause) (*Result, error) {
@@ -216,7 +333,9 @@ func (db *DB) QueryAgg(clauses ...Clause) (*AggResult, error) {
 
 // cachedStmt resolves a compiled statement for the spec through the plan
 // cache (compiling and inserting on miss), the shared path behind Query
-// and QueryAgg.
+// and QueryAgg. Cached statements stay hot across writes: each execution
+// folds the pending deltas of its inputs into its snapshots, so the cache
+// key needs no data-version component.
 func (db *DB) cachedStmt(s *spec) (*Stmt, error) {
 	if ps := s.params(); len(ps) > 0 {
 		return nil, fmt.Errorf("fdb: unbound parameter %q: use Prepare and Exec for parameterised queries", ps[0])
@@ -228,60 +347,46 @@ func (db *DB) cachedStmt(s *spec) (*Stmt, error) {
 		return nil, fmt.Errorf("fdb: GroupBy needs at least one Agg clause")
 	}
 	if db.cache.capacity() <= 0 {
-		return db.prepareSpec(s)
+		return db.prepareSpec(s, nil)
 	}
-	key, vers, err := db.fingerprint(s)
+	key, names, err := db.fingerprint(s)
 	if err != nil {
 		return nil, err
 	}
-	if st, ok := db.cache.get(key, vers); ok {
+	if st, ok := db.cache.get(key); ok {
 		return st, nil
 	}
 	// The miss path resolves the relations a second time inside
 	// prepareSpec; that duplication is two map lookups and constant
 	// encodings, noise next to the clone+dedup+f-tree search it performs.
-	st, err := db.prepareSpec(s)
+	st, err := db.prepareSpec(s, nil)
 	if err != nil {
 		return nil, err
 	}
-	// Only cache the plan if no write landed while it was compiling:
-	// a stale-versioned entry would survive the write's invalidate sweep
-	// yet never match on lookup, pinning dead snapshots until eviction.
-	if db.versMatch(vers) {
-		db.cache.put(key, st, vers)
-	}
+	db.cache.put(key, st, names)
 	return st, nil
 }
 
-// versMatch reports whether the given relation versions are still current.
-func (db *DB) versMatch(vers map[string]uint64) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for name, v := range vers {
-		if db.vers[name] != v {
-			return false
-		}
-	}
-	return true
-}
-
 // fingerprint canonically fingerprints the query spec against the current
-// catalogue and snapshots the data versions of the involved relations.
-// Versions are read before any data is copied, so a cached plan can never
-// claim to be newer than the snapshot it holds.
-func (db *DB) fingerprint(s *spec) (string, map[string]uint64, error) {
+// catalogue and returns the referenced relation names (for schema-level
+// invalidation). Data versions are not part of the key: cached statements
+// self-refresh from the delta chains.
+func (db *DB) fingerprint(s *spec) (string, []string, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	q := &core.Query{Equalities: s.eqs, Projection: s.project}
-	vers := make(map[string]uint64, len(s.from))
+	names := make([]string, 0, len(s.from))
 	for _, name := range s.from {
-		r, ok := db.rels[name]
+		st, ok := db.stores[name]
 		if !ok {
+			db.mu.RUnlock()
 			return "", nil, fmt.Errorf("fdb: unknown relation %q", name)
 		}
-		q.Relations = append(q.Relations, r)
-		vers[name] = db.vers[name]
+		// The fingerprint reads only names and schemas; a data-free shell
+		// avoids touching (or pinning) any version's tuples.
+		q.Relations = append(q.Relations, relation.New(st.Name, st.Schema))
+		names = append(names, name)
 	}
+	db.mu.RUnlock()
 	for _, sel := range s.sels {
 		v, err := db.encode(sel.val)
 		if err != nil {
@@ -335,11 +440,11 @@ func (db *DB) fingerprint(s *spec) (string, map[string]uint64, error) {
 		}
 		key = b.String()
 	}
-	return key, vers, nil
+	return key, names, nil
 }
 
 // CacheStats returns the plan cache counters: Hits and Misses count Query
-// lookups (a stale entry counts as a miss), Entries is the current size.
+// lookups, Entries is the current size.
 func (db *DB) CacheStats() CacheStats { return db.cache.stats() }
 
 // SetPlanCacheCapacity resizes the plan cache (default 64 entries); 0

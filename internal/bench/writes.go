@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Exp10Row is one point of Experiment 10: write throughput of the mutation
+// subsystem. A prepared join statement holds a warm encoded representation;
+// a delta batch of the given fraction is committed through InsertBatch and
+// the statement's next execution folds it in incrementally (sorted snapshot
+// merge + arena-level enc merge). The rebuild leg answers the same
+// post-delta data with a fresh statement — snapshot, dedup, path sort and
+// the full morsel-parallel build — which is exactly the compaction
+// fallback. Both legs must agree on the result count before timings are
+// reported.
+type Exp10Row struct {
+	Workload  string
+	Scale     int
+	Frac      float64 // delta size as a fraction of the mutated relation
+	BaseRows  int     // tuples in the mutated relation before the delta
+	DeltaRows int
+	Tuples    int64   // result tuples after the delta
+	InsertMS  float64 // committing the delta batch (one version bump)
+	MergeMS   float64 // incremental refresh: delta merge + enc patch + count
+	RebuildMS float64 // fresh prepare + full parallel build + count
+	Speedup   float64 // RebuildMS / (InsertMS + MergeMS)
+}
+
+// Exp10Mixed summarises the read-mostly mixed workload leg: per-operation
+// latency percentiles with ~10% writes interleaved into cached reads, and
+// the plan-cache hit rate across the run (writes never evict, so a
+// read-mostly workload must stay far above 90%).
+type Exp10Mixed struct {
+	Ops          int
+	Writes       int
+	ReadP50MS    float64
+	ReadP99MS    float64
+	WriteP50MS   float64
+	CacheHitRate float64
+}
+
+// Exp10Config parameterises Experiment 10.
+type Exp10Config struct {
+	Scale int
+	Fracs []float64 // delta fractions to sweep (default 0.01, 0.05, 0.10, 0.25)
+	Ops   int       // mixed-workload operations (default 300)
+}
+
+// Experiment10Writes sweeps the delta fractions: one batch insert into the
+// retailer join's Orders relation per fraction, incremental merge vs full
+// rebuild on identical post-delta data.
+func Experiment10Writes(rng *rand.Rand, cfg Exp10Config) ([]Exp10Row, error) {
+	fracs := cfg.Fracs
+	if len(fracs) == 0 {
+		fracs = []float64{0.01, 0.05, 0.10, 0.25}
+	}
+	rows := make([]Exp10Row, 0, len(fracs))
+	for _, frac := range fracs {
+		db, join := exp9Retailer(rng, cfg.Scale)
+		base := 500 * cfg.Scale
+		st, err := db.Prepare(join...)
+		if err != nil {
+			return rows, err
+		}
+		warm, err := st.Exec()
+		if err != nil {
+			return rows, err
+		}
+		warm.Count() // force the cached pre-projection build
+
+		n := int(float64(base) * frac)
+		if n < 1 {
+			n = 1
+		}
+		batch := make([][]interface{}, n)
+		for i := range batch {
+			batch[i] = []interface{}{base + i + 1, rng.Intn(50) + 1}
+		}
+		row := Exp10Row{Workload: "retailer", Scale: cfg.Scale, Frac: frac, BaseRows: base, DeltaRows: n}
+
+		start := time.Now()
+		if err := db.InsertBatch("Orders", batch); err != nil {
+			return rows, err
+		}
+		row.InsertMS = ms(start)
+
+		start = time.Now()
+		merged, err := st.Exec()
+		if err != nil {
+			return rows, err
+		}
+		row.Tuples = merged.Count()
+		row.MergeMS = ms(start)
+
+		start = time.Now()
+		fresh, err := db.Prepare(join...)
+		if err != nil {
+			return rows, err
+		}
+		rebuilt, err := fresh.Exec()
+		if err != nil {
+			return rows, err
+		}
+		rebuiltCount := rebuilt.Count()
+		row.RebuildMS = ms(start)
+
+		if row.Tuples != rebuiltCount {
+			return rows, fmt.Errorf("bench: exp10 frac %.2f: merged count %d != rebuilt count %d",
+				frac, row.Tuples, rebuiltCount)
+		}
+		if inc := row.InsertMS + row.MergeMS; inc > 0 {
+			row.Speedup = row.RebuildMS / inc
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Experiment10Mixed interleaves cached reads with ~10% batch writes and
+// reports per-operation latency percentiles and the plan-cache hit rate.
+func Experiment10Mixed(rng *rand.Rand, cfg Exp10Config) (Exp10Mixed, error) {
+	ops := cfg.Ops
+	if ops <= 0 {
+		ops = 300
+	}
+	db, join := exp9Retailer(rng, cfg.Scale)
+	if _, err := db.Query(join...); err != nil { // populate the plan cache
+		return Exp10Mixed{}, err
+	}
+	var reads, writes []float64
+	next := 500*cfg.Scale + 1
+	for i := 0; i < ops; i++ {
+		if i%10 == 9 {
+			batch := make([][]interface{}, 5)
+			for j := range batch {
+				batch[j] = []interface{}{next, rng.Intn(50) + 1}
+				next++
+			}
+			start := time.Now()
+			if err := db.InsertBatch("Orders", batch); err != nil {
+				return Exp10Mixed{}, err
+			}
+			writes = append(writes, ms(start))
+			continue
+		}
+		start := time.Now()
+		res, err := db.Query(join...)
+		if err != nil {
+			return Exp10Mixed{}, err
+		}
+		res.Count()
+		reads = append(reads, ms(start))
+	}
+	s := db.CacheStats()
+	row := Exp10Mixed{
+		Ops:        ops,
+		Writes:     len(writes),
+		ReadP50MS:  percentile(reads, 0.50),
+		ReadP99MS:  percentile(reads, 0.99),
+		WriteP50MS: percentile(writes, 0.50),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		row.CacheHitRate = float64(s.Hits) / float64(total)
+	}
+	return row, nil
+}
+
+// percentile returns the p-quantile (nearest-rank) of the samples.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExperiment10Writes: the sweep runs end to end and the built-in
+// merged-vs-rebuilt parity checks pass at a small scale.
+func TestExperiment10Writes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	rows, err := Experiment10Writes(rng, Exp10Config{Scale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 delta fractions, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DeltaRows < 1 || r.Tuples <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+}
+
+// TestExperiment10Mixed: the mixed workload keeps the plan cache hot —
+// writes must not evict, so a 90/10 read/write mix stays above 90% hits.
+func TestExperiment10Mixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	row, err := Experiment10Mixed(rng, Exp10Config{Scale: 2, Ops: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CacheHitRate <= 0.9 {
+		t.Fatalf("read-mostly cache hit rate %.3f <= 0.9", row.CacheHitRate)
+	}
+	if row.Writes == 0 || row.Writes >= row.Ops {
+		t.Fatalf("write mix off: %d writes of %d ops", row.Writes, row.Ops)
+	}
+}
+
+// BenchmarkInsertBatch measures committing a 100-row batch into the delta
+// store (one version bump, no statement refresh).
+func BenchmarkInsertBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	db, _ := exp9Retailer(rng, 4)
+	next := 500*4 + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := make([][]interface{}, 100)
+		for j := range batch {
+			batch[j] = []interface{}{next, rng.Intn(50) + 1}
+			next++
+		}
+		if err := db.InsertBatch("Orders", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeDelta measures the incremental statement refresh after a
+// small batch insert: sorted delta merge into the pinned inputs plus the
+// arena-level enc merge, against a warm prepared statement.
+func BenchmarkMergeDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	db, join := exp9Retailer(rng, 4)
+	st, err := db.Prepare(join...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Exec(); err != nil {
+		b.Fatal(err)
+	}
+	next := 500*4 + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := make([][]interface{}, 20)
+		for j := range batch {
+			batch[j] = []interface{}{next, rng.Intn(50) + 1}
+			next++
+		}
+		if err := db.InsertBatch("Orders", batch); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := st.Exec()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Count()
+	}
+}

@@ -298,6 +298,22 @@ func (b *EncBuilder) CopyUnions(src *Enc, sni, dni, ulo, uhi int) {
 	}
 }
 
+// CopyEntries bulk-copies entries [elo,ehi) of src node sni — with their
+// entire subtrees — into the currently open union at builder node dni,
+// without closing it. The entry values land in dni's open union; each
+// copied entry's child unions are copied (and closed) beneath, preserving
+// the parent-entry ⇔ child-union correspondence. Like CopyUnions this is a
+// handful of memmoves per descendant node; it is the primitive behind
+// incremental merges, which interleave copied runs of untouched entries
+// with freshly built ones inside a single union.
+func (b *EncBuilder) CopyEntries(src *Enc, sni, dni, elo, ehi int) {
+	b.vals[dni] = append(b.vals[dni], src.Vals(sni)[elo:ehi]...)
+	dkids := b.ti.kids[dni]
+	for k, sc := range src.ti.kids[sni] {
+		b.CopyUnions(src, sc, dkids[k], elo, ehi)
+	}
+}
+
 // Finish packs the per-node columns into one arena and returns the encoded
 // representation. Emptiness is detected from the roots (any root union
 // without entries represents ∅).

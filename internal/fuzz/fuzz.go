@@ -32,6 +32,14 @@ import (
 // skips the case rather than failing it.
 const maxOracleTuples = 500_000
 
+// Querier is the query surface a differential check runs against: the live
+// database or a pinned snapshot — both answer the same clause language, so
+// the same oracle comparison covers read-your-writes and snapshot reads.
+type Querier interface {
+	Query(clauses ...fdb.Clause) (*fdb.Result, error)
+	QueryAgg(clauses ...fdb.Clause) (*fdb.AggResult, error)
+}
+
 // Case is one derived differential test case. All randomness comes from the
 // seed; two Cases with the same seed are identical.
 type Case struct {
@@ -283,7 +291,7 @@ func (c *Case) Run(parallelism int) error {
 // sorted with the engine's retrieval comparator — the OrderBy keys first,
 // then every result column ascending — clipped by Offset/Limit, and each
 // position must match (the factorised count must agree too).
-func (c *Case) checkPlain(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relation, fail func(string, ...interface{}) error) error {
+func (c *Case) checkPlain(db Querier, clauses []fdb.Clause, flat *relation.Relation, fail func(string, ...interface{}) error) error {
 	if c.project != nil {
 		ps := make([]string, len(c.project))
 		for i, a := range c.project {
@@ -384,7 +392,7 @@ func (c *Case) checkPlain(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relat
 
 // checkAgg compares QueryAgg rows against a straight fold over the flat
 // oracle result.
-func (c *Case) checkAgg(db *fdb.DB, clauses []fdb.Clause, flat *relation.Relation, fail func(string, ...interface{}) error) error {
+func (c *Case) checkAgg(db Querier, clauses []fdb.Clause, flat *relation.Relation, fail func(string, ...interface{}) error) error {
 	if len(c.groupBy) > 0 {
 		gs := make([]string, len(c.groupBy))
 		for i, a := range c.groupBy {

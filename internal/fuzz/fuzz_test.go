@@ -63,17 +63,55 @@ func TestCaseDeterminism(t *testing.T) {
 	}
 }
 
+// TestMutationDifferential runs the mutation harness over a block of seeds:
+// every seed applies 10-17 Insert/Delete/Upsert/Compact steps through the
+// public write API and re-checks the live query plus every pinned snapshot
+// against the flat oracle after each step — ≥1500 sequence-compared queries
+// per full package run across ≥2 parallelism legs, zero divergence allowed.
+// Failures reproduce with fuzz.CheckMutations(seed, p).
+func TestMutationDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	ps := parallelisms()
+	queries := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, p := range ps {
+			n, err := CheckMutations(seed, p)
+			queries += n
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !testing.Short() && queries < 1500 {
+		t.Fatalf("mutation workload too small: %d oracle-compared queries < 1500", queries)
+	}
+	t.Logf("fuzz: %d mutation-workload queries checked (%d seeds × %d parallelism legs)", queries, seeds, len(ps))
+}
+
 // FuzzDifferential is the `go test -fuzz` entry point: the fuzzer mutates
 // the seed (and a parallelism byte), the corpus seeds come from the block
-// the deterministic test covers.
+// the deterministic test covers. Each input is exercised both as a static
+// workload (Check) and as a mutation workload (CheckMutations) so corpus
+// entries cover the write path too.
 func FuzzDifferential(f *testing.F) {
 	f.Add(int64(1), uint8(1))
 	f.Add(int64(2), uint8(2))
 	f.Add(int64(42), uint8(4))
 	f.Add(int64(500), uint8(3))
+	// Mutation-workload corpus: seeds whose schedules hit every write verb,
+	// compaction under open snapshots, and the aggregate query shape.
+	f.Add(int64(7), uint8(2))
+	f.Add(int64(23), uint8(4))
+	f.Add(int64(1009), uint8(1))
 	f.Fuzz(func(t *testing.T, seed int64, p uint8) {
 		workers := int(p%8) + 1
 		if err := Check(seed, workers); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CheckMutations(seed, workers); err != nil {
 			t.Fatal(err)
 		}
 	})

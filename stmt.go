@@ -3,8 +3,12 @@ package fdb
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/fbuild"
 	"repro/internal/fplan"
 	"repro/internal/frep"
@@ -13,19 +17,30 @@ import (
 	"repro/internal/relation"
 )
 
+// mergeMaxFrac is the incremental-maintenance threshold: a refresh whose
+// net delta exceeds this fraction of the statement's input tuples skips the
+// arena merge and lets the next execution rebuild with BuildEncParallel —
+// when deltas dominate, the full build's morsel parallelism beats patching
+// most of the representation value by value.
+const mergeMaxFrac = 0.25
+
 // Stmt is a compiled, reusable select-project-join statement. Prepare pays
-// the expensive part of query evaluation once — clause validation, input
-// snapshot (clone + dedup + constant pre-filtering), optimal f-tree search,
-// and sorting every input in its f-tree path order — so that each Exec only
-// binds parameters, filters, and builds the factorised result.
+// the expensive part of query evaluation once — clause validation, optimal
+// f-tree search, input snapshot (dedup + constant pre-filtering + path
+// sort) — so that each Exec only binds parameters and builds the
+// factorised result.
 //
-// A Stmt snapshots its input relations at Prepare time: Inserts after
-// Prepare are not visible to Exec. Exec is safe for concurrent callers; the
-// shared snapshots are never mutated after Prepare.
+// A Stmt prepared from the database follows it: each Exec reads the
+// relations' current versions, folding any delta batches committed since
+// the last execution into its sorted snapshots (and, when the change is
+// small, directly into its cached encoded representation) — the compiled
+// plan itself is immutable and never recompiles. A Stmt prepared from a
+// Snapshot is pinned: it keeps reading the snapshot's versions and fails
+// loudly once the snapshot is closed. Exec is safe for concurrent callers.
 type Stmt struct {
 	db         *DB
-	tree       *ftree.T             // optimal f-tree of the compiled query
-	rels       []*relation.Relation // deduped, pre-filtered, path-sorted snapshots
+	tree       *ftree.T // optimal f-tree of the compiled query
+	inputs     []stmtInput
 	psels      []paramSel           // parameterised selections, bound at Exec
 	params     []string             // distinct parameter names, declaration order
 	project    []relation.Attribute // nil: keep all attributes
@@ -38,6 +53,37 @@ type Stmt struct {
 	streamable bool                 // the compiled tree streams the ORDER BY
 	cost       float64              // s(T) of the optimal f-tree
 	par        int                  // WithParallelism override; 0 = inherit from the DB
+
+	snap *Snapshot // non-nil: pinned to this snapshot's versions
+
+	// data is the statement's current input snapshot; refresh publishes
+	// successors atomically so concurrent Execs never see a half-updated
+	// set. refreshMu serialises the (slow-path) refresh itself.
+	data      atomic.Pointer[stmtData]
+	refreshMu sync.Mutex
+}
+
+// stmtInput is one compiled input relation: its backing store, the
+// constant-selection pre-filter baked at compile time, and the column
+// permutation of its f-tree path sort (for in-order delta merging).
+type stmtInput struct {
+	store     *delta.Store
+	filter    func(relation.Tuple) bool // nil: no constant selection
+	sortIdx   []int
+	sortAttrs []relation.Attribute // schema attrs in sortIdx order (SortBy arg)
+}
+
+// stmtData is one immutable version of a statement's inputs: the deduped,
+// pre-filtered, path-sorted snapshots and the store version each reflects.
+// The encoded representation of a parameter-free statement is memoised here
+// (built on first use, or inherited from the previous version via the
+// incremental merge); reads and writes of enc go through mu.
+type stmtData struct {
+	rels []*relation.Relation
+	vers []uint64
+
+	mu  sync.Mutex
+	enc *frep.Enc // cached pre-projection build; nil until needed
 }
 
 // paramSel is one compiled parameterised selection: column col of input
@@ -66,28 +112,46 @@ func (db *DB) Prepare(clauses ...Clause) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.prepareSpec(s)
+	return db.prepareSpec(s, nil)
 }
 
-// prepareSpec is the shared compile path behind Prepare and Query.
-func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
+// prepareSpec is the shared compile path behind Prepare, Query and the
+// snapshot query surface. With a non-nil snap the statement reads the
+// snapshot's pinned states and never refreshes.
+func (db *DB) prepareSpec(s *spec, snap *Snapshot) (*Stmt, error) {
 	if len(s.from) == 0 {
 		return nil, fmt.Errorf("fdb: query needs From(...)")
 	}
-	// Snapshot the inputs under the read lock; dedup outside it.
+	// Resolve the stores and capture one consistent version per input.
+	// States are immutable: everything after the capture runs lock-free.
+	stores := make([]*delta.Store, len(s.from))
+	states := make([]*delta.State, len(s.from))
 	db.mu.RLock()
-	rels := make([]*relation.Relation, len(s.from))
 	for i, name := range s.from {
-		r, ok := db.rels[name]
+		st, ok := db.stores[name]
 		if !ok {
 			db.mu.RUnlock()
 			return nil, fmt.Errorf("fdb: unknown relation %q", name)
 		}
-		rels[i] = r.Clone()
+		stores[i] = st
+		states[i] = st.State()
 	}
 	db.mu.RUnlock()
-	for _, r := range rels {
-		r.Dedup()
+	if snap != nil {
+		if snap.isClosed() {
+			return nil, errSnapshotClosed
+		}
+		for i, name := range s.from {
+			st, ok := snap.states[name]
+			if !ok {
+				return nil, fmt.Errorf("fdb: relation %q created after the snapshot", name)
+			}
+			states[i] = st
+		}
+	}
+	rels := make([]*relation.Relation, len(s.from))
+	for i, st := range states {
+		rels[i] = snapRelation(st)
 	}
 
 	// Split selections: constants are encoded and pre-filtered now,
@@ -173,7 +237,10 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 			}
 		}
 	}
-	// Constant selections are cheapest first (Section 4): filter inputs.
+	// Constant selections are cheapest first (Section 4): filter inputs now
+	// and keep each input's compiled filter for refresh-time delta
+	// filtering.
+	filters := make([]func(relation.Tuple) bool, len(rels))
 	for i, r := range q.Relations {
 		var mine []core.ConstSel
 		for _, c := range q.Selections {
@@ -186,14 +253,15 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 			for j, c := range mine {
 				cols[j] = r.Schema.Index(c.A)
 			}
-			q.Relations[i] = r.Select(func(t relation.Tuple) bool {
+			filters[i] = func(t relation.Tuple) bool {
 				for j, c := range mine {
 					if !c.Match(t[cols[j]]) {
 						return false
 					}
 				}
 				return true
-			})
+			}
+			q.Relations[i] = r.Select(filters[i])
 		}
 	}
 	tr, cost, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
@@ -237,10 +305,24 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 	if err := fbuild.SortFor(q.Relations, tr); err != nil {
 		return nil, err
 	}
-	return &Stmt{
+	inputs := make([]stmtInput, len(s.from))
+	vers := make([]uint64, len(s.from))
+	for i := range s.from {
+		idx, err := fbuild.SortIndex(q.Relations[i], tr)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]relation.Attribute, len(idx))
+		for j, c := range idx {
+			attrs[j] = q.Relations[i].Schema[c]
+		}
+		inputs[i] = stmtInput{store: stores[i], filter: filters[i], sortIdx: idx, sortAttrs: attrs}
+		vers[i] = states[i].Ver
+	}
+	st := &Stmt{
 		db:         db,
 		tree:       tr,
-		rels:       q.Relations,
+		inputs:     inputs,
 		psels:      psels,
 		params:     params,
 		project:    s.project,
@@ -253,7 +335,20 @@ func (db *DB) prepareSpec(s *spec) (*Stmt, error) {
 		streamable: streamable,
 		cost:       cost,
 		par:        s.par,
-	}, nil
+		snap:       snap,
+	}
+	st.data.Store(&stmtData{rels: q.Relations, vers: vers})
+	return st, nil
+}
+
+// snapRelation derives a private, mutable snapshot of a state's live
+// relation: a fresh tuple-slice header over shared (read-only) tuples.
+func snapRelation(st *delta.State) *relation.Relation {
+	live := st.Live()
+	r := relation.New(live.Name, live.Schema)
+	r.Tuples = append(make([]relation.Tuple, 0, len(live.Tuples)), live.Tuples...)
+	r.Dedup()
+	return r
 }
 
 // orderChain maps the ORDER BY keys to their attribute-class indices, in key
@@ -373,11 +468,181 @@ func (st *Stmt) ExecAggContext(ctx context.Context, args ...NamedArg) (*AggResul
 	return &AggResult{db: st.db, groupBy: st.groupBy, specs: st.aggs, rows: rows}, nil
 }
 
+// current reports whether d reflects every input store's current version.
+func (st *Stmt) current(d *stmtData) bool {
+	for i := range st.inputs {
+		if st.inputs[i].store.State().Ver != d.vers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refresh brings the statement's input snapshots up to the relations'
+// current versions. The fast path is len(inputs) atomic loads; behind them,
+// the slow path captures a consistent cut under the database read lock,
+// folds each changed relation's net delta into its sorted snapshot with a
+// linear merge (or re-snapshots wholesale when the history was compacted
+// away), and — for parameter-free statements with a small enough delta —
+// patches the cached encoded representation in place of the next rebuild.
+// Pinned (snapshot-bound) statements never refresh.
+func (st *Stmt) refresh() {
+	if st.snap != nil {
+		return
+	}
+	d := st.data.Load()
+	if st.current(d) {
+		return
+	}
+	st.refreshMu.Lock()
+	defer st.refreshMu.Unlock()
+	d = st.data.Load()
+	if st.current(d) {
+		return
+	}
+	// A consistent cut: no writer commits between the state loads.
+	states := make([]*delta.State, len(st.inputs))
+	st.db.mu.RLock()
+	for i := range st.inputs {
+		states[i] = st.inputs[i].store.State()
+	}
+	st.db.mu.RUnlock()
+
+	nd := &stmtData{
+		rels: make([]*relation.Relation, len(st.inputs)),
+		vers: make([]uint64, len(st.inputs)),
+	}
+	deltas := make([]fbuild.RelDelta, len(st.inputs))
+	resnap := false
+	deltaTuples, totalTuples := 0, 0
+	for i, in := range st.inputs {
+		nd.vers[i] = states[i].Ver
+		if states[i].Ver == d.vers[i] {
+			nd.rels[i] = d.rels[i]
+			totalTuples += d.rels[i].Cardinality()
+			continue
+		}
+		adds, dels, ok := states[i].NetSince(d.vers[i])
+		if !ok {
+			// The history below our version was compacted away: rebuild
+			// this input from the new base (the plan stays compiled).
+			nd.rels[i] = st.resnapInput(i, states[i])
+			totalTuples += nd.rels[i].Cardinality()
+			resnap = true
+			continue
+		}
+		if in.filter != nil {
+			adds = filterTuples(adds, in.filter)
+			dels = filterTuples(dels, in.filter)
+		}
+		nd.rels[i], deltas[i] = mergeSortedDelta(d.rels[i], adds, dels, in.sortIdx)
+		deltaTuples += len(deltas[i].Adds) + len(deltas[i].Dels)
+		totalTuples += nd.rels[i].Cardinality()
+	}
+	// Incremental maintenance of the cached representation: worth it only
+	// for parameter-free statements (others build per Exec anyway), with an
+	// encoding to patch, no wholesale re-snapshot, and a delta small enough
+	// that patching beats the morsel-parallel rebuild.
+	if len(st.psels) == 0 && !resnap && deltaTuples > 0 &&
+		float64(deltaTuples) <= mergeMaxFrac*float64(max(totalTuples, 1)) {
+		d.mu.Lock()
+		old := d.enc
+		d.mu.Unlock()
+		if old != nil {
+			if enc, ok, err := fbuild.MergeEnc(nd.rels, st.tree.Clone(), old, deltas); err == nil && ok {
+				nd.enc = enc
+			}
+		}
+	}
+	st.data.Store(nd)
+}
+
+// resnapInput rebuilds input i's snapshot from a state: dedup, constant
+// pre-filter, path sort — the same pipeline Prepare ran.
+func (st *Stmt) resnapInput(i int, state *delta.State) *relation.Relation {
+	r := snapRelation(state)
+	if f := st.inputs[i].filter; f != nil {
+		r = r.Filter(f)
+	}
+	r.SortBy(st.inputs[i].sortAttrs)
+	return r
+}
+
+// filterTuples returns the tuples passing f (allocation-free when all do).
+func filterTuples(ts []relation.Tuple, f func(relation.Tuple) bool) []relation.Tuple {
+	keep := ts[:0:0]
+	for _, t := range ts {
+		if f(t) {
+			keep = append(keep, t)
+		}
+	}
+	return keep
+}
+
+// mergeSortedDelta applies a net delta to a sorted, deduplicated snapshot
+// with one linear merge in the snapshot's sort order (the column
+// permutation idx), returning the new snapshot (sharing tuple storage with
+// the old) and the delta actually applied: additions not already present
+// and removals actually found — the touched set the representation merge
+// patches.
+func mergeSortedDelta(old *relation.Relation, adds, dels []relation.Tuple, idx []int) (*relation.Relation, fbuild.RelDelta) {
+	cmp := func(a, b relation.Tuple) int {
+		for _, c := range idx {
+			if a[c] != b[c] {
+				if a[c] < b[c] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	sortTuples := func(ts []relation.Tuple) []relation.Tuple {
+		out := append(make([]relation.Tuple, 0, len(ts)), ts...)
+		sort.Slice(out, func(i, j int) bool { return cmp(out[i], out[j]) < 0 })
+		return out
+	}
+	adds, dels = sortTuples(adds), sortTuples(dels)
+	var applied fbuild.RelDelta
+	out := relation.New(old.Name, old.Schema)
+	out.Tuples = make([]relation.Tuple, 0, len(old.Tuples)+len(adds))
+	ai, di := 0, 0
+	for _, t := range old.Tuples {
+		for di < len(dels) && cmp(dels[di], t) < 0 {
+			di++ // removal of an absent tuple: no-op
+		}
+		if di < len(dels) && cmp(dels[di], t) == 0 {
+			applied.Dels = append(applied.Dels, t)
+			di++
+			continue
+		}
+		for ai < len(adds) && cmp(adds[ai], t) < 0 {
+			out.Tuples = append(out.Tuples, adds[ai])
+			applied.Adds = append(applied.Adds, adds[ai])
+			ai++
+		}
+		if ai < len(adds) && cmp(adds[ai], t) == 0 {
+			ai++ // addition of a present tuple: no-op
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	for ; ai < len(adds); ai++ {
+		out.Tuples = append(out.Tuples, adds[ai])
+		applied.Adds = append(applied.Adds, adds[ai])
+	}
+	return out, applied
+}
+
 // buildContext binds parameters and builds the statement's factorised
 // result — straight into the arena-backed columnar encoding, never through
 // the pointer form: the shared evaluation path behind ExecContext and
-// ExecAggContext.
+// ExecAggContext. Parameter-free statements memoise the pre-projection
+// encoding per input version (so a read-mostly workload re-executes from
+// the cached arena); parameterised ones filter and build per call.
 func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, error) {
+	if st.snap != nil && st.snap.isClosed() {
+		return nil, errSnapshotClosed
+	}
 	bound := make(map[string]relation.Value, len(args))
 	for _, a := range args {
 		known := false
@@ -405,31 +670,38 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 		}
 	}
 
-	rels := st.rels
-	if len(st.psels) > 0 {
-		// Filter the affected snapshots with the bound constants. Filter
-		// shares tuple storage and preserves order, so the filtered inputs
-		// stay sorted and the shared snapshots stay untouched.
-		rels = append([]*relation.Relation(nil), st.rels...)
-		byRel := map[int][]core.ConstSel{}
-		cols := map[int][]int{}
-		for _, ps := range st.psels {
-			byRel[ps.rel] = append(byRel[ps.rel], core.ConstSel{Op: ps.op, C: bound[ps.name]})
-			cols[ps.rel] = append(cols[ps.rel], ps.col)
+	st.refresh()
+	d := st.data.Load()
+
+	if len(st.psels) == 0 {
+		fr, err := st.cachedEnc(ctx, d)
+		if err != nil {
+			return nil, err
 		}
-		for ri, sels := range byRel {
-			cs := cols[ri]
-			rels[ri] = rels[ri].Filter(func(t relation.Tuple) bool {
-				for i, c := range sels {
-					if !c.Match(t[cs[i]]) {
-						return false
-					}
-				}
-				return true
-			})
-		}
+		return st.applyProject(ctx, fr)
 	}
 
+	// Filter the affected snapshots with the bound constants. Filter
+	// shares tuple storage and preserves order, so the filtered inputs
+	// stay sorted and the shared snapshots stay untouched.
+	rels := append([]*relation.Relation(nil), d.rels...)
+	byRel := map[int][]core.ConstSel{}
+	cols := map[int][]int{}
+	for _, ps := range st.psels {
+		byRel[ps.rel] = append(byRel[ps.rel], core.ConstSel{Op: ps.op, C: bound[ps.name]})
+		cols[ps.rel] = append(cols[ps.rel], ps.col)
+	}
+	for ri, sels := range byRel {
+		cs := cols[ri]
+		rels[ri] = rels[ri].Filter(func(t relation.Tuple) bool {
+			for i, c := range sels {
+				if !c.Match(t[cs[i]]) {
+					return false
+				}
+			}
+			return true
+		})
+	}
 	// Each Exec gets its own tree: the encoded representation owns it, and
 	// downstream operators derive fresh trees from it. The build is
 	// morsel-parallel when the execution's parallelism allows it.
@@ -437,14 +709,40 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 	if err != nil {
 		return nil, err
 	}
-	if st.project != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		fr, err = fplan.ApplyEnc(fplan.Project{Attrs: st.project}, fr)
+	return st.applyProject(ctx, fr)
+}
+
+// cachedEnc returns d's memoised pre-projection encoding, building it on
+// first use. Encoded representations are immutable, so handing the same
+// *Enc to every Exec at this version is free sharing, not aliasing.
+func (st *Stmt) cachedEnc(ctx context.Context, d *stmtData) (*frep.Enc, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.enc == nil {
+		enc, err := fbuild.BuildEncParallelContext(ctx, d.rels, st.tree.Clone(), st.parallelism())
 		if err != nil {
 			return nil, err
 		}
+		d.enc = enc
 	}
-	return fr, nil
+	return d.enc, nil
+}
+
+// applyProject bakes the statement's projection into the result (a pure
+// encoded operator: the shared input is never mutated).
+func (st *Stmt) applyProject(ctx context.Context, fr *frep.Enc) (*frep.Enc, error) {
+	if st.project == nil {
+		return fr, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return fplan.ApplyEnc(fplan.Project{Attrs: st.project}, fr)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
