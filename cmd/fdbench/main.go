@@ -12,6 +12,7 @@
 //	fdbench -exp 8            # morsel-parallel execution: speedup vs worker count
 //	fdbench -exp 9            # ordered top-k (ORDER BY + LIMIT) vs flat sort-then-cut
 //	fdbench -exp 10           # write throughput: incremental delta merge vs full rebuild
+//	fdbench -exp 11           # network front-end: library vs wire vs pipelined wire
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-10; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-11; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -51,6 +52,7 @@ func main() {
 		exp8(*seed, *runs)
 		exp9(*seed, *runs)
 		exp10(*seed, *runs)
+		exp11(*seed)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -71,8 +73,10 @@ func main() {
 		exp9(*seed, *runs)
 	case 10:
 		exp10(*seed, *runs)
+	case 11:
+		exp11(*seed)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..10")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..11")
 		os.Exit(2)
 	}
 }
@@ -412,6 +416,19 @@ func exp10(seed int64, runs int) {
 		}
 		fmt.Printf("retailer %d %d %d %.3f %.3f %.3f %.3f\n",
 			scale, row.Ops, row.Writes, row.ReadP50MS, row.ReadP99MS, row.WriteP50MS, row.CacheHitRate)
+	}
+}
+
+func exp11(seed int64) {
+	fmt.Println("# Experiment 11: network front-end overhead — library vs wire vs pipelined wire")
+	fmt.Println("# mode ops ns_per_op p99_ns")
+	rows, err := bench.Experiment11Wire(seed, bench.Exp11Config{Scale: 2, Ops: 400})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdbench:", err)
+		os.Exit(1)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s %d %.0f %.0f\n", r.Mode, r.Ops, r.NsPerOp, r.P99Ns)
 	}
 }
 

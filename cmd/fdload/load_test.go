@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunLoadSmoke runs the full sweep (all three mixes, two connection
+// counts) against an in-process server and requires zero protocol errors
+// and zero divergences — the same check CI's server job runs via the
+// binary.
+func TestRunLoadSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		conns:    []int{1, 2},
+		mixes:    []string{mixRead, mixMixed, mixSnapshot},
+		duration: 400 * time.Millisecond,
+		seed:     42,
+		scale:    1,
+		csvPath:  filepath.Join(dir, "load.csv"),
+		jsonPath: filepath.Join(dir, "load.json"),
+	}
+	sum, err := runLoad(cfg, io.Discard)
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if len(sum.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(sum.Cells))
+	}
+	if sum.TotalErrors != 0 || sum.TotalDivergences != 0 {
+		t.Fatalf("load run not clean: %d errors, %d divergences", sum.TotalErrors, sum.TotalDivergences)
+	}
+	if sum.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	for _, c := range sum.Cells {
+		if c.Mix == mixRead && c.Checked == 0 {
+			t.Fatalf("read cell conns=%d checked nothing", c.Conns)
+		}
+		if c.Ops > 0 && c.P99ms <= 0 {
+			t.Fatalf("cell %s/%d has ops but no p99", c.Mix, c.Conns)
+		}
+	}
+
+	f, err := os.Open(cfg.csvPath)
+	if err != nil {
+		t.Fatalf("csv missing: %v", err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("csv unparseable: %v", err)
+	}
+	if len(recs) != 7 { // header + 6 cells
+		t.Fatalf("csv has %d records, want 7", len(recs))
+	}
+
+	blob, err := os.ReadFile(cfg.jsonPath)
+	if err != nil {
+		t.Fatalf("json missing: %v", err)
+	}
+	var back summary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("json unparseable: %v", err)
+	}
+	if back.TotalOps != sum.TotalOps || len(back.Cells) != 6 {
+		t.Fatalf("json summary does not match the run: %+v", back)
+	}
+}
+
+// TestParseInts covers the sweep-list flag parser.
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 4,16")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Fatalf("parseInts(%q) accepted", bad)
+		}
+	}
+}

@@ -367,10 +367,47 @@ func (db *DB) cachedStmt(s *spec) (*Stmt, error) {
 	return st, nil
 }
 
+// PrepareCached is Prepare through the plan cache: the compiled statement
+// is looked up by the query's canonical fingerprint — parameter
+// placeholders included — so many callers preparing the same query shape
+// (the server front-end's connections, most prominently) share one
+// compiled plan and one memoised encoded representation. Statements are
+// safe for concurrent Exec, so the sharing is free; an entry stays cached
+// until a schema change invalidates its relations or the LRU evicts it.
+func (db *DB) PrepareCached(clauses ...Clause) (*Stmt, error) {
+	s, err := compileSpec(modeQuery, clauses)
+	if err != nil {
+		return nil, err
+	}
+	// Same pre-cache rejection as cachedStmt: an agg-free fingerprint
+	// ignores groupBy, so this invalid shape must not alias a cached plan.
+	if len(s.groupBy) > 0 && len(s.aggs) == 0 {
+		return nil, fmt.Errorf("fdb: GroupBy needs at least one Agg clause")
+	}
+	if db.cache.capacity() <= 0 {
+		return db.prepareSpec(s, nil)
+	}
+	key, names, err := db.fingerprint(s)
+	if err != nil {
+		return nil, err
+	}
+	if st, ok := db.cache.get(key); ok {
+		return st, nil
+	}
+	st, err := db.prepareSpec(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	db.cache.put(key, st, names)
+	return st, nil
+}
+
 // fingerprint canonically fingerprints the query spec against the current
 // catalogue and returns the referenced relation names (for schema-level
 // invalidation). Data versions are not part of the key: cached statements
-// self-refresh from the delta chains.
+// self-refresh from the delta chains. Parameterised selections fingerprint
+// by attribute, operator and placeholder name — the bound values are
+// per-Exec and never part of the plan identity.
 func (db *DB) fingerprint(s *spec) (string, []string, error) {
 	db.mu.RLock()
 	q := &core.Query{Equalities: s.eqs, Projection: s.project}
@@ -387,7 +424,12 @@ func (db *DB) fingerprint(s *spec) (string, []string, error) {
 		names = append(names, name)
 	}
 	db.mu.RUnlock()
+	var psels []string
 	for _, sel := range s.sels {
+		if p, ok := sel.val.(ParamValue); ok {
+			psels = append(psels, fmt.Sprintf("%s %d $%s", sel.attr, sel.op, p.name))
+			continue
+		}
 		v, err := db.encode(sel.val)
 		if err != nil {
 			return "", nil, err
@@ -395,6 +437,9 @@ func (db *DB) fingerprint(s *spec) (string, []string, error) {
 		q.Selections = append(q.Selections, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
 	}
 	key := q.Fingerprint()
+	if len(psels) > 0 {
+		key = key + "|psels " + strings.Join(psels, ",")
+	}
 	// A per-query parallelism override is carried on the compiled statement,
 	// so it is part of the plan identity (the tree itself is unaffected, but
 	// a cached plan must not leak one query's override into another).

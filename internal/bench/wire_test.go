@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestExperiment11Wire: all three legs run end to end, the built-in
+// wire-vs-library parity check passes, and every leg reports plausible
+// timings.
+func TestExperiment11Wire(t *testing.T) {
+	rows, err := Experiment11Wire(11, Exp11Config{Ops: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 legs, got %d", len(rows))
+	}
+	modes := map[string]bool{}
+	for _, r := range rows {
+		modes[r.Mode] = true
+		if r.Ops != 60 || r.NsPerOp <= 0 || r.P99Ns <= 0 {
+			t.Fatalf("degenerate leg: %+v", r)
+		}
+	}
+	for _, m := range []string{"library", "wire", "wire_pipelined"} {
+		if !modes[m] {
+			t.Fatalf("missing leg %q", m)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip drives random frames through the codec.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		body := make([]byte, rng.Intn(512))
+		rng.Read(body)
+		in := Frame{Kind: byte(rng.Intn(256)), ID: rng.Uint32(), Body: body}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		out, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if out.Kind != in.Kind || out.ID != in.ID || !bytes.Equal(out.Body, in.Body) {
+			t.Fatalf("round trip mismatch: wrote %+v read %+v", in, out)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d bytes left after one frame", buf.Len())
+		}
+	}
+}
+
+// TestFrameBackToBack checks several frames decode in order from one stream.
+func TestFrameBackToBack(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteFrame(&buf, Frame{Kind: VerbPing, ID: uint32(i), Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != uint32(i) || f.Body[0] != byte(i) {
+			t.Fatalf("frame %d decoded as %+v", i, f)
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("want io.EOF after last frame, got %v", err)
+	}
+}
+
+// TestFrameRejectsShortLength rejects a length prefix below the fixed header.
+func TestFrameRejectsShortLength(t *testing.T) {
+	for _, n := range []uint32{0, 1, 4} {
+		var raw [4]byte
+		binary.BigEndian.PutUint32(raw[:], n)
+		_, err := ReadFrame(bytes.NewReader(raw[:]), 0)
+		if err == nil || !strings.Contains(err.Error(), "shorter than") {
+			t.Fatalf("length %d: want short-frame error, got %v", n, err)
+		}
+	}
+}
+
+// TestFrameRejectsOversized rejects a hostile length prefix before allocating.
+func TestFrameRejectsOversized(t *testing.T) {
+	var raw [4]byte
+	binary.BigEndian.PutUint32(raw[:], 0xFFFFFFF0)
+	_, err := ReadFrame(bytes.NewReader(raw[:]), 0)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want oversize error, got %v", err)
+	}
+	// A caller-supplied cap is honoured too.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: VerbPing, ID: 1, Body: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 64); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want cap error, got %v", err)
+	}
+	// And the writer refuses to emit an unreadable frame.
+	if err := WriteFrame(io.Discard, Frame{Body: make([]byte, MaxFrame+1)}); err == nil {
+		t.Fatal("want write-side oversize error")
+	}
+}
+
+// TestFrameTruncated distinguishes a clean EOF from a mid-frame cut.
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: VerbPing, ID: 7, Body: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+	for cut := 1; cut < len(whole); cut++ {
+		_, err := ReadFrame(bytes.NewReader(whole[:cut]), 0)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: want io.ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+// TestFrameGarbage feeds random bytes: every outcome must be an error or a
+// structurally valid frame, never a panic or a huge allocation.
+func TestFrameGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		raw := make([]byte, rng.Intn(64))
+		rng.Read(raw)
+		f, err := ReadFrame(bytes.NewReader(raw), 1<<16)
+		if err == nil && frameHeader+len(f.Body) > 1<<16 {
+			t.Fatalf("garbage decoded beyond the cap: %d body bytes", len(f.Body))
+		}
+	}
+}

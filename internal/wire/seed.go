@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"math/rand"
+
+	fdb "repro"
+)
+
+// SeedRetailer loads the deterministic retailer workload (the shape of the
+// paper's dispatching example, scaled): Orders(oid, item), Stock(location,
+// item), Disp(dispatcher, location). The server preloads it and the load
+// harness rebuilds it in-process from the same seed, so every wire response
+// can be checked byte for byte against library execution.
+func SeedRetailer(db *fdb.DB, seed int64, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	load := func(name string, attrs []string, n int, row func(i int) []interface{}) error {
+		if err := db.Create(name, attrs...); err != nil {
+			return err
+		}
+		rows := make([][]interface{}, n)
+		for i := 0; i < n; i++ {
+			rows[i] = row(i)
+		}
+		return db.InsertBatch(name, rows)
+	}
+	if err := load("Orders", []string{"oid", "item"}, 500*scale, func(i int) []interface{} {
+		return []interface{}{int64(i + 1), int64(rng.Intn(50) + 1)}
+	}); err != nil {
+		return err
+	}
+	if err := load("Stock", []string{"location", "item"}, 200*scale, func(i int) []interface{} {
+		return []interface{}{int64(rng.Intn(40) + 1), int64(rng.Intn(50) + 1)}
+	}); err != nil {
+		return err
+	}
+	return load("Disp", []string{"dispatcher", "location"}, 100*scale, func(i int) []interface{} {
+		return []interface{}{int64(rng.Intn(120) + 1), int64(rng.Intn(40) + 1)}
+	})
+}
+
+// retailerJoin is the three-way join every retailer load query starts from.
+func retailerJoin() Spec {
+	sp := NewSpec("Orders", "Stock", "Disp")
+	sp.Eqs = [][2]string{
+		{"Orders.item", "Stock.item"},
+		{"Stock.location", "Disp.location"},
+	}
+	return sp
+}
+
+// LoadQuery is one query of the load harness's read pool: a wire spec plus
+// a deterministic argument generator for its parameters.
+type LoadQuery struct {
+	Name string
+	Spec Spec
+	Args func(rng *rand.Rand) []Arg
+}
+
+// RetailerQueries is the deterministic read pool over the retailer
+// workload: a mix of parameterised point/range selections, ordered top-k,
+// DISTINCT projection and grouped aggregates, exercising both Exec and
+// ExecAgg. The pool is fixed so the harness and its differential reference
+// prepare the same statements in the same order.
+func RetailerQueries() []LoadQuery {
+	noArgs := func(*rand.Rand) []Arg { return nil }
+
+	itemPoint := retailerJoin()
+	itemPoint.Sels = []Sel{SelParam("Orders.item", OpEQ, "item")}
+	itemPoint.Project = []string{"Orders.oid", "Stock.location", "Disp.dispatcher"}
+	itemPoint.OrderBy = []OrderKey{{Attr: "Orders.oid"}, {Attr: "Stock.location"}, {Attr: "Disp.dispatcher"}}
+	itemPoint.Limit = 64
+
+	locRange := retailerJoin()
+	locRange.Sels = []Sel{SelParam("Stock.location", OpLE, "loc")}
+	locRange.Project = []string{"Stock.location", "Orders.item"}
+	locRange.Distinct = true
+	locRange.OrderBy = []OrderKey{{Attr: "Stock.location"}, {Attr: "Orders.item"}}
+
+	topDispatch := retailerJoin()
+	topDispatch.Project = []string{"Disp.dispatcher", "Orders.item"}
+	topDispatch.Distinct = true
+	topDispatch.OrderBy = []OrderKey{{Attr: "Disp.dispatcher", Desc: true}, {Attr: "Orders.item"}}
+	topDispatch.Limit = 32
+	topDispatch.Offset = 8
+
+	countByDisp := retailerJoin()
+	countByDisp.GroupBy = []string{"Disp.dispatcher"}
+	countByDisp.Aggs = []AggSpec{{Fn: AggCount}, {Fn: AggCountDistinct, Attr: "Orders.item"}}
+
+	sumByLoc := retailerJoin()
+	sumByLoc.Sels = []Sel{SelParam("Orders.item", OpGE, "lo"), SelParam("Orders.item", OpLE, "hi")}
+	sumByLoc.GroupBy = []string{"Stock.location"}
+	sumByLoc.Aggs = []AggSpec{{Fn: AggCount}, {Fn: AggMax, Attr: "Orders.oid"}}
+
+	totalCount := retailerJoin()
+	totalCount.Aggs = []AggSpec{{Fn: AggCount}}
+
+	return []LoadQuery{
+		{Name: "item_point", Spec: itemPoint, Args: func(rng *rand.Rand) []Arg {
+			return []Arg{{Name: "item", Val: Int(int64(rng.Intn(50) + 1))}}
+		}},
+		{Name: "loc_range", Spec: locRange, Args: func(rng *rand.Rand) []Arg {
+			return []Arg{{Name: "loc", Val: Int(int64(rng.Intn(40) + 1))}}
+		}},
+		{Name: "top_dispatch", Spec: topDispatch, Args: noArgs},
+		{Name: "count_by_disp", Spec: countByDisp, Args: noArgs},
+		{Name: "agg_item_band", Spec: sumByLoc, Args: func(rng *rand.Rand) []Arg {
+			lo := rng.Intn(40) + 1
+			return []Arg{{Name: "lo", Val: Int(int64(lo))}, {Name: "hi", Val: Int(int64(lo + 10))}}
+		}},
+		{Name: "total_count", Spec: totalCount, Args: noArgs},
+	}
+}

@@ -68,6 +68,23 @@ func (s *Snapshot) Prepare(clauses ...Clause) (*Stmt, error) {
 	return s.db.prepareSpec(sp, s)
 }
 
+// Bind pins an already-compiled live statement to the snapshot, sharing
+// its compiled plan (the expensive part of Prepare) and re-snapshotting
+// only the inputs at the pinned versions. Together with DB.PrepareCached
+// this gives the many-connection server one plan per query shape across
+// all live and snapshot-pinned executions. The bound statement reads the
+// pinned data forever (never refreshing) and errors after Close; the
+// receiver statement is unaffected.
+func (s *Snapshot) Bind(st *Stmt) (*Stmt, error) {
+	if st == nil {
+		return nil, fmt.Errorf("fdb: Bind of a nil statement")
+	}
+	if st.db != s.db {
+		return nil, fmt.Errorf("fdb: Bind of a statement from a different DB instance")
+	}
+	return st.pin(s)
+}
+
 // Query runs a select-project-join query against the snapshot. Pinned
 // plans bypass the database plan cache (cache entries track the live
 // versions).

@@ -341,6 +341,53 @@ func (db *DB) prepareSpec(s *spec, snap *Snapshot) (*Stmt, error) {
 	return st, nil
 }
 
+// pin derives a statement bound to the snapshot's pinned versions from an
+// already-compiled live statement, sharing the compiled plan — f-tree,
+// parameter slots, baked filters and sort permutations — and paying only
+// the input re-snapshot (dedup, constant pre-filter, path sort). This is
+// the server front-end's path for executing a cached statement under a
+// per-connection snapshot: clause validation and f-tree search are never
+// repeated per (statement, snapshot) pair. The pinned statement never
+// refreshes and fails loudly once the snapshot is closed.
+func (st *Stmt) pin(snap *Snapshot) (*Stmt, error) {
+	if st.snap != nil {
+		return nil, fmt.Errorf("fdb: statement is already pinned to a snapshot")
+	}
+	if snap.isClosed() {
+		return nil, errSnapshotClosed
+	}
+	ns := &Stmt{
+		db:         st.db,
+		tree:       st.tree,
+		inputs:     st.inputs,
+		psels:      st.psels,
+		params:     st.params,
+		project:    st.project,
+		groupBy:    st.groupBy,
+		aggs:       st.aggs,
+		order:      st.order,
+		offset:     st.offset,
+		limit:      st.limit,
+		distinct:   st.distinct,
+		streamable: st.streamable,
+		cost:       st.cost,
+		par:        st.par,
+		snap:       snap,
+	}
+	rels := make([]*relation.Relation, len(st.inputs))
+	vers := make([]uint64, len(st.inputs))
+	for i, in := range st.inputs {
+		state, ok := snap.states[in.store.Name]
+		if !ok {
+			return nil, fmt.Errorf("fdb: relation %q created after the snapshot", in.store.Name)
+		}
+		rels[i] = st.resnapInput(i, state)
+		vers[i] = state.Ver
+	}
+	ns.data.Store(&stmtData{rels: rels, vers: vers})
+	return ns, nil
+}
+
 // snapRelation derives a private, mutable snapshot of a state's live
 // relation: a fresh tuple-slice header over shared (read-only) tuples.
 func snapRelation(st *delta.State) *relation.Relation {
