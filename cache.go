@@ -79,6 +79,18 @@ func (c *planCache) put(key string, stmt *Stmt, names []string) {
 	}
 }
 
+// entries returns a copy of the cache's (key, statement) pairs, MRU first.
+// SaveSnapshot walks it to find memoised encodings worth persisting.
+func (c *planCache) entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
+}
+
 // invalidate evicts every entry whose plan reads the named relation. Data
 // writes never call this (statements self-refresh per delta); it fires on
 // schema-level changes — a name entering the catalogue — so a plan compiled

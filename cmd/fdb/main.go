@@ -26,6 +26,15 @@
 // loaded relations before the query runs (upsert replaces live tuples
 // matching the first k columns).
 //
+// -save path writes the database to a zero-copy snapshot file after the
+// loads, writes and query run (the query's encoding rides along, so the
+// reopened file serves it without a build); -open path starts from such a
+// file instead of an empty database — it is memory-mapped, so opening skips
+// the TSV parse and encode entirely:
+//
+//	fdb -load orders.tsv -load store.tsv -save grocery.fdb
+//	fdb -open grocery.fdb -from Orders,Store -eq Orders.item=Store.item
+//
 // With -i, fdb starts an interactive REPL over the loaded relations:
 //
 //	fdb> prepare q1 from Orders,Store eq Orders.item=Store.item where Orders.oid<=$n
@@ -35,6 +44,8 @@
 //	fdb> snapshot s1
 //	fdb> squery s1 from Orders
 //	fdb> release s1
+//	fdb> save grocery.fdb
+//	fdb> open grocery.fdb
 //	fdb> stats
 //
 // A relation file's first line is "Name<TAB>attr1<TAB>attr2…"; every other
@@ -90,6 +101,8 @@ func run(argv []string, in io.Reader, out io.Writer) error {
 	distinct := fs.Bool("distinct", false, "deduplicate the result on the factorised form (explicit set semantics)")
 	rows := fs.Int("rows", 10, "result rows to print (0: all)")
 	interactive := fs.Bool("i", false, "start an interactive REPL after loading")
+	openPath := fs.String("open", "", "open a snapshot file (memory-mapped, zero-copy) instead of starting empty")
+	savePath := fs.String("save", "", "write the database to this snapshot file after loads, writes and the query")
 	var inserts, deletes, upserts multiFlag
 	fs.Var(&inserts, "insert", "insert a tuple Rel:v1,v2,... before the query (repeatable)")
 	fs.Var(&deletes, "delete", "delete a tuple Rel:v1,v2,... before the query (repeatable)")
@@ -98,7 +111,16 @@ func run(argv []string, in io.Reader, out io.Writer) error {
 		return err
 	}
 
-	db := fdb.New()
+	var db *fdb.DB
+	if *openPath != "" {
+		var err error
+		if db, err = fdb.OpenSnapshotFile(*openPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "opened snapshot %s (version %d, %d relations)\n", *openPath, db.Version(), len(db.Relations()))
+	} else {
+		db = fdb.New()
+	}
 	for _, f := range loads {
 		if _, err := db.LoadTSV(f); err != nil {
 			return err
@@ -111,10 +133,16 @@ func run(argv []string, in io.Reader, out io.Writer) error {
 		repl(db, *rows, in, out)
 		return nil
 	}
-	if len(loads) == 0 && *from == "" {
+	if len(loads) == 0 && *from == "" && *openPath == "" {
 		return demo(out)
 	}
 	if *from == "" {
+		if *savePath != "" {
+			return saveSnapshot(db, *savePath, out)
+		}
+		if *openPath != "" {
+			return nil // open-and-inspect: the header line is the report
+		}
 		return fmt.Errorf("missing -from")
 	}
 	var clauses []fdb.Clause
@@ -158,7 +186,15 @@ func run(argv []string, in io.Reader, out io.Writer) error {
 		}
 		clauses = append(clauses, c)
 	}
-	stmt, err := db.Prepare(clauses...)
+	// With -save the statement goes through the plan cache so its memoised
+	// encoding rides along in the snapshot file.
+	var stmt *fdb.Stmt
+	var err error
+	if *savePath != "" {
+		stmt, err = db.PrepareCached(clauses...)
+	} else {
+		stmt, err = db.Prepare(clauses...)
+	}
 	if err != nil {
 		return err
 	}
@@ -172,13 +208,26 @@ func run(argv []string, in io.Reader, out io.Writer) error {
 			return err
 		}
 		reportAgg(out, ar, *rows)
-		return nil
+	} else {
+		res, err := stmt.Exec(args...)
+		if err != nil {
+			return err
+		}
+		report(out, res, *rows)
 	}
-	res, err := stmt.Exec(args...)
-	if err != nil {
+	if *savePath != "" {
+		return saveSnapshot(db, *savePath, out)
+	}
+	return nil
+}
+
+// saveSnapshot writes the database to path in the zero-copy snapshot format
+// (reopen with -open or the REPL open verb) and reports the file.
+func saveSnapshot(db *fdb.DB, path string, out io.Writer) error {
+	if err := db.SaveSnapshot(path); err != nil {
 		return err
 	}
-	report(out, res, *rows)
+	fmt.Fprintf(out, "saved snapshot %s (version %d)\n", path, db.Version())
 	return nil
 }
 
@@ -357,6 +406,10 @@ const replHelp = `commands:
   squery <name> <query>            run a query against a pinned snapshot
   release <name>                   close a snapshot (its queries then fail)
   compact <Rel>                    fold the relation's delta chain into a fresh base
+  save <path>                      write the database to a zero-copy snapshot file
+  open <path>                      replace the session database with a snapshot file
+                                   (memory-mapped; prepared statements and pinned
+                                   snapshots of the old database are discarded)
   stats                            plan cache statistics
   help | quit
 query syntax:
@@ -420,6 +473,21 @@ func repl(db *fdb.DB, rows int, in io.Reader, out io.Writer) {
 				err = fmt.Errorf("usage: compact <Rel>")
 			} else if err = db.Compact(rest[0]); err == nil {
 				fmt.Fprintf(out, "  compacted %s (version %d)\n", rest[0], db.Version())
+			}
+		case "save":
+			err = replSave(db, rest, out)
+		case "open":
+			var ndb *fdb.DB
+			if ndb, err = replOpen(rest, out); ndb != nil {
+				// The new database replaces the old wholesale: prepared
+				// statements and pinned snapshots are views of a database
+				// this session no longer serves, so they are discarded.
+				db = ndb
+				stmts = map[string]*fdb.Stmt{}
+				for _, s := range snaps {
+					s.Close()
+				}
+				snaps = map[string]*fdb.Snapshot{}
 			}
 		case "stats":
 			s := db.CacheStats()
@@ -583,6 +651,34 @@ func replRelease(snaps map[string]*fdb.Snapshot, rest []string, out io.Writer) e
 	snap.Close()
 	fmt.Fprintf(out, "  snapshot %s released\n", rest[0])
 	return nil
+}
+
+// replSave writes the session database to a snapshot file. Queries already
+// run through the query verb went through the plan cache, so their
+// encodings ride along and a later open serves them without a build.
+func replSave(db *fdb.DB, rest []string, out io.Writer) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: save <path>")
+	}
+	if err := db.SaveSnapshot(rest[0]); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  saved snapshot %s (version %d)\n", rest[0], db.Version())
+	return nil
+}
+
+// replOpen opens a snapshot file as a replacement session database (nil
+// with an error when it cannot).
+func replOpen(rest []string, out io.Writer) (*fdb.DB, error) {
+	if len(rest) != 1 {
+		return nil, fmt.Errorf("usage: open <path>")
+	}
+	db, err := fdb.OpenSnapshotFile(rest[0])
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "  opened snapshot %s (version %d, %d relations)\n", rest[0], db.Version(), len(db.Relations()))
+	return db, nil
 }
 
 func replQuery(db *fdb.DB, rest []string, rows int, out io.Writer) error {

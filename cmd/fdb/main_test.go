@@ -167,6 +167,127 @@ func TestWriteSnapshotGolden(t *testing.T) {
 	}
 }
 
+// TestSaveOpenGolden pins the persistence round trip byte for byte: the
+// same query printed from the live database, from a REPL-reopened snapshot,
+// and from a -open invocation in a fresh process must be identical — the
+// snapshot file preserves relations, dictionary codes and plan output
+// exactly. Regenerate with `go test ./cmd/fdb -run Golden -update`.
+func TestSaveOpenGolden(t *testing.T) {
+	orders, store, disp := writeTSVs(t)
+	snap := filepath.Join(t.TempDir(), "grocery.fdb")
+	query := "query from Orders,Store,Disp eq Orders.item=Store.item eq Store.location=Disp.location orderby Orders.oid,Disp.dispatcher"
+	agg := "query from Orders,Store eq Orders.item=Store.item groupby Store.location agg count agg distinct(Orders.item)"
+	script := strings.Join([]string{
+		"load " + orders,
+		"load " + store,
+		"load " + disp,
+		query,
+		agg,
+		"save " + snap,
+		"open " + snap,
+		query,
+		agg,
+		"quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := run([]string{"-i", "-rows", "0"}, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "error:") {
+		t.Fatalf("REPL reported an error:\n%s", s)
+	}
+	// The query output before the save and after the reopen must be byte
+	// identical: split on the prompt lines and compare the two report blocks.
+	blocks := strings.Split(s, "fdb> ")
+	var reports []string
+	for _, b := range blocks {
+		if strings.HasPrefix(b, "f-tree:") || strings.HasPrefix(b, "groups:") {
+			reports = append(reports, b)
+		}
+	}
+	if len(reports) != 4 {
+		t.Fatalf("expected 4 query reports, found %d:\n%s", len(reports), s)
+	}
+	if reports[0] != reports[2] {
+		t.Fatalf("join output diverges across save/open:\n--- live ---\n%s\n--- reopened ---\n%s", reports[0], reports[2])
+	}
+	if reports[1] != reports[3] {
+		t.Fatalf("agg output diverges across save/open:\n--- live ---\n%s\n--- reopened ---\n%s", reports[1], reports[3])
+	}
+
+	// The golden file pins the -open one-shot path (fresh process over the
+	// mapped file) modulo the temp path printed in the header line.
+	var oneShot bytes.Buffer
+	args := []string{
+		"-open", snap,
+		"-from", "Orders,Store,Disp",
+		"-eq", "Orders.item=Store.item",
+		"-eq", "Store.location=Disp.location",
+		"-orderby", "Orders.oid,Disp.dispatcher",
+		"-rows", "0",
+	}
+	if err := run(args, strings.NewReader(""), &oneShot); err != nil {
+		t.Fatal(err)
+	}
+	got := oneShot.String()
+	if i := strings.IndexByte(got, '\n'); i >= 0 && strings.HasPrefix(got, "opened snapshot ") {
+		got = got[i+1:] // drop the header line (contains the temp path)
+	} else {
+		t.Fatalf("missing opened-snapshot header:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "saveopen_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("-open output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestSaveOpenFlagsRoundTrip drives the non-interactive -save / -open flags
+// including the save-only invocation (no -from) and the corrupt-file error.
+func TestSaveOpenFlagsRoundTrip(t *testing.T) {
+	orders, _, _ := writeTSVs(t)
+	snap := filepath.Join(t.TempDir(), "orders.fdb")
+	var out bytes.Buffer
+	if err := run([]string{"-load", orders, "-save", snap}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved snapshot ") {
+		t.Fatalf("save-only invocation did not report the file:\n%s", out.String())
+	}
+	var reopened bytes.Buffer
+	args := []string{"-open", snap, "-from", "Orders", "-orderby", "Orders.oid,Orders.item", "-rows", "0"}
+	if err := run(args, strings.NewReader(""), &reopened); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"o1\tMilk", "o3\tMelon"} {
+		if !strings.Contains(reopened.String(), want) {
+			t.Fatalf("reopened rows missing %q:\n%s", want, reopened.String())
+		}
+	}
+	// A corrupted file must fail loudly, not open.
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	bad := filepath.Join(t.TempDir(), "bad.fdb")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-open", bad, "-from", "Orders"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("corrupted snapshot opened without error")
+	}
+}
+
 // TestWriteFlags drives the one-shot -insert/-delete/-upsert flags.
 func TestWriteFlags(t *testing.T) {
 	orders, _, _ := writeTSVs(t)

@@ -13,6 +13,7 @@
 //	fdbench -exp 9            # ordered top-k (ORDER BY + LIMIT) vs flat sort-then-cut
 //	fdbench -exp 10           # write throughput: incremental delta merge vs full rebuild
 //	fdbench -exp 11           # network front-end: library vs wire vs pipelined wire
+//	fdbench -exp 12           # zero-copy snapshot cold open vs TSV parse + rebuild
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-11; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-12; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -53,6 +54,7 @@ func main() {
 		exp9(*seed, *runs)
 		exp10(*seed, *runs)
 		exp11(*seed)
+		exp12(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -75,8 +77,10 @@ func main() {
 		exp10(*seed, *runs)
 	case 11:
 		exp11(*seed)
+	case 12:
+		exp12(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..11")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..12")
 		os.Exit(2)
 	}
 }
@@ -429,6 +433,49 @@ func exp11(seed int64) {
 	}
 	for _, r := range rows {
 		fmt.Printf("%s %d %.0f %.0f\n", r.Mode, r.Ops, r.NsPerOp, r.P99Ns)
+	}
+}
+
+func exp12(seed int64, runs int) {
+	fmt.Println("# Experiment 12: zero-copy snapshot cold open (mmap + enc adoption) vs TSV parse + full rebuild")
+	fmt.Println("# workload scale result_tuples file_kb save_ms cold_open_ms rebuild_ms speedup")
+	rng := rand.New(rand.NewSource(seed))
+	acc := map[int]*bench.Exp12Row{}
+	var scales []int
+	n := 0
+	for i := 0; i < runs; i++ {
+		rows, err := bench.Experiment12Persist(rng, bench.Exp12Config{Scales: []int{1, 2, 4, 8}})
+		if err != nil {
+			// The experiment doubles as the cold-open-vs-live parity check CI
+			// runs; its failure must fail the process.
+			fmt.Fprintln(os.Stderr, "fdbench:", err)
+			os.Exit(1)
+		}
+		for i := range rows {
+			r := rows[i]
+			a, ok := acc[r.Scale]
+			if !ok {
+				acc[r.Scale] = &r
+				scales = append(scales, r.Scale)
+				continue
+			}
+			a.Tuples += r.Tuples
+			a.FileKB += r.FileKB
+			a.SaveMS += r.SaveMS
+			a.ColdMS += r.ColdMS
+			a.RebuildMS += r.RebuildMS
+		}
+		n++
+	}
+	f := float64(n)
+	for _, scale := range scales {
+		r := acc[scale]
+		speedup := 0.0
+		if r.ColdMS > 0 {
+			speedup = r.RebuildMS / r.ColdMS
+		}
+		fmt.Printf("retailer %d %d %.1f %.3f %.3f %.3f %.1f\n",
+			scale, r.Tuples/int64(n), r.FileKB/f, r.SaveMS/f, r.ColdMS/f, r.RebuildMS/f, speedup)
 	}
 }
 

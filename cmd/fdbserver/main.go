@@ -4,7 +4,14 @@
 // STATS verb. SIGINT/SIGTERM drains gracefully: in-flight requests finish,
 // new ones are refused with a draining error, then connections close.
 //
+// The served corpus comes from -data (a zero-copy snapshot file written by
+// db.SaveSnapshot / the fdb CLI — opened by mmap, so restarts skip the
+// parse+build entirely) or from -retailer-scale (the deterministic seeded
+// workload); -save-snapshot writes the seeded corpus back out for the next
+// restart.
+//
 //	fdbserver -addr 127.0.0.1:7744 -retailer-scale 4
+//	fdbserver -addr 127.0.0.1:7744 -retailer-scale 0 -data retailer.fdb
 package main
 
 import (
@@ -20,6 +27,35 @@ import (
 	"repro/internal/wire"
 )
 
+// warmReadPool executes the parameter-free queries of the retailer read
+// pool once, so their plans land in the shared cache with memoised
+// encodings before a snapshot is cut — a -data restart then serves those
+// queries from the mapped arenas without any build.
+func warmReadPool(db *fdb.DB) error {
+	for _, q := range wire.RetailerQueries() {
+		clauses, err := q.Spec.Clauses()
+		if err != nil {
+			return err
+		}
+		st, err := db.PrepareCached(clauses...)
+		if err != nil {
+			return err
+		}
+		if len(st.Params()) > 0 {
+			continue // parameterised plans cannot ride the snapshot
+		}
+		if len(q.Spec.Aggs) > 0 {
+			_, err = st.ExecAgg()
+		} else {
+			_, err = st.Exec()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7744", "listen address (port 0 picks a free port)")
 	scale := flag.Int("retailer-scale", 1, "seed the deterministic retailer workload at this scale (0: start empty)")
@@ -30,15 +66,46 @@ func main() {
 	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "per-request execution budget")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before force-close")
 	statsEvery := flag.Duration("stats-every", 0, "print server stats at this interval (0: never)")
+	dataPath := flag.String("data", "", "serve a snapshot file (mmap zero-copy open) instead of seeding")
+	savePath := flag.String("save-snapshot", "", "write the loaded corpus to a snapshot file before serving")
 	flag.Parse()
 
-	db := fdb.New()
+	var db *fdb.DB
+	if *dataPath != "" {
+		var err error
+		if db, err = fdb.OpenSnapshotFile(*dataPath); err != nil {
+			fmt.Fprintf(os.Stderr, "fdbserver: open snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fdbserver: opened snapshot %s (version=%d, relations=%d)\n",
+			*dataPath, db.Version(), len(db.Relations()))
+	} else {
+		db = fdb.New()
+	}
 	if *scale > 0 {
+		if *dataPath != "" {
+			fmt.Fprintf(os.Stderr, "fdbserver: -data and -retailer-scale > 0 are mutually exclusive (pass -retailer-scale 0 with -data)\n")
+			os.Exit(1)
+		}
 		if err := wire.SeedRetailer(db, *seed, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "fdbserver: seed: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("fdbserver: seeded retailer workload (seed=%d scale=%d, version=%d)\n", *seed, *scale, db.Version())
+	}
+	if *savePath != "" {
+		// Warm the plan cache with the read pool first, so the snapshot
+		// carries pre-built encodings and a -data restart serves its first
+		// queries without any build.
+		if err := warmReadPool(db); err != nil {
+			fmt.Fprintf(os.Stderr, "fdbserver: warm for snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := db.SaveSnapshot(*savePath); err != nil {
+			fmt.Fprintf(os.Stderr, "fdbserver: save snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fdbserver: saved snapshot %s (version=%d)\n", *savePath, db.Version())
 	}
 
 	srv := wire.NewServer(db, wire.Options{

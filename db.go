@@ -12,6 +12,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/frep"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 // DB is an in-memory factorised database: named relations plus a shared
@@ -34,6 +35,23 @@ type DB struct {
 	par atomic.Int32
 	// snaps counts open snapshots (diagnostics; see OpenSnapshots).
 	snaps atomic.Int64
+
+	// adopted indexes the pre-built encodings a snapshot file carried, by
+	// plan fingerprint. Populated once by OpenSnapshotFile before the DB is
+	// handed out and read-only afterwards, so lookups take no lock. backing
+	// roots the opened store.File: adopted arenas and relation tuples alias
+	// its (possibly memory-mapped) bytes, which must stay mapped for the
+	// lifetime of the database — the file is never unmapped through the DB.
+	adopted map[string]*adoptedEnc
+	backing *store.File
+}
+
+// adoptedEnc is one snapshot-carried encoding: the statement fingerprint it
+// was memoised under maps to it, inputs records the (relation, version)
+// pairs the build reflected, and enc's arena points into the snapshot file.
+type adoptedEnc struct {
+	inputs []store.Input
+	enc    *frep.Enc
 }
 
 // New returns an empty database.
@@ -363,6 +381,7 @@ func (db *DB) cachedStmt(s *spec) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.fp = key
 	db.cache.put(key, st, names)
 	return st, nil
 }
@@ -398,6 +417,7 @@ func (db *DB) PrepareCached(clauses ...Clause) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.fp = key
 	db.cache.put(key, st, names)
 	return st, nil
 }

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	fdb "repro"
+)
+
+// Exp12Row is one point of Experiment 12: cold-open-to-first-query over the
+// zero-copy snapshot format against the parse-and-rebuild baseline. The
+// snapshot leg opens the file (memory-mapped where the platform allows) and
+// answers the retailer join's first query by adopting the snapshot-carried
+// encoding — O(header + pages touched) work. The baseline answers the same
+// query from scratch: parse the three TSV relation files, dictionary-encode,
+// snapshot, sort, and run the full morsel-parallel build. Both legs — and
+// the live database the snapshot was cut from — must agree byte for byte on
+// an ordered result sample and an aggregate table before timings are
+// reported.
+type Exp12Row struct {
+	Scale     int
+	Tuples    int64   // flat tuples of the join result
+	FileKB    float64 // snapshot file size
+	SaveMS    float64 // SaveSnapshot (warm plan cache riding along)
+	ColdMS    float64 // OpenSnapshotFile + first query + count
+	RebuildMS float64 // New + LoadTSV x3 + query + count
+	Speedup   float64 // RebuildMS / ColdMS
+}
+
+// Exp12Config parameterises Experiment 12.
+type Exp12Config struct {
+	Scales []int  // scales to sweep (default 1, 2, 4)
+	Dir    string // scratch directory for snapshot + TSV files (default: a temp dir)
+}
+
+// Experiment12Persist sweeps the scales: build the retailer workload, warm
+// the plan cache, write the snapshot and the TSV baseline files, then time
+// cold open against full rebuild on identical data.
+func Experiment12Persist(rng *rand.Rand, cfg Exp12Config) ([]Exp12Row, error) {
+	scales := cfg.Scales
+	if len(scales) == 0 {
+		scales = []int{1, 2, 4}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "fdbench-exp12-"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	rows := make([]Exp12Row, 0, len(scales))
+	for _, scale := range scales {
+		row, err := experiment12(rng, scale, dir)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// experiment12 runs one scale point.
+func experiment12(rng *rand.Rand, scale int, dir string) (Exp12Row, error) {
+	row := Exp12Row{Scale: scale}
+	db, join := exp9Retailer(rng, scale)
+
+	// The parity probes: a deterministic ordered sample of the join and a
+	// grouped aggregate — both rendered to text, compared byte for byte.
+	sample := append(join[:len(join):len(join)],
+		fdb.OrderBy(fdb.Desc("Orders.item"), fdb.Asc("Orders.oid"), fdb.Asc("Disp.dispatcher")),
+		fdb.Limit(50))
+	agg := append(join[:len(join):len(join)],
+		fdb.GroupBy("Stock.location"), fdb.Agg(fdb.Count, ""), fdb.Agg(fdb.CountDistinct, "Orders.item"))
+
+	// Warm the live database through the plan cache, so the snapshot carries
+	// the join's encoding and the cold leg's first query adopts it. The
+	// parity probes run only after the save — they memoise encodings of
+	// their own, which must not ride along and inflate the file.
+	live, err := db.Query(join...)
+	if err != nil {
+		return row, err
+	}
+	row.Tuples = live.Count()
+
+	// Baseline input: the same relations as TSV files (what a rebuild parses).
+	var tsvs []string
+	for _, name := range db.Relations() {
+		p := filepath.Join(dir, fmt.Sprintf("exp12_s%d_%s.tsv", scale, name))
+		if err := db.SaveTSV(p, name); err != nil {
+			return row, err
+		}
+		tsvs = append(tsvs, p)
+	}
+
+	snap := filepath.Join(dir, fmt.Sprintf("exp12_s%d.fdb", scale))
+	start := time.Now()
+	if err := db.SaveSnapshot(snap); err != nil {
+		return row, err
+	}
+	row.SaveMS = ms(start)
+	if fi, err := os.Stat(snap); err == nil {
+		row.FileKB = float64(fi.Size()) / 1024
+	}
+	liveSample, liveAgg, err := exp12Probes(db, sample, agg)
+	if err != nil {
+		return row, err
+	}
+
+	// Cold leg: open the file, answer the first query, count.
+	start = time.Now()
+	cdb, err := fdb.OpenSnapshotFile(snap)
+	if err != nil {
+		return row, err
+	}
+	cres, err := cdb.Query(join...)
+	if err != nil {
+		return row, err
+	}
+	coldCount := cres.Count()
+	row.ColdMS = ms(start)
+
+	// Rebuild leg: parse the TSVs, answer the same query, count.
+	start = time.Now()
+	rdb := fdb.New()
+	for _, p := range tsvs {
+		if _, err := rdb.LoadTSV(p); err != nil {
+			return row, err
+		}
+	}
+	rres, err := rdb.Query(join...)
+	if err != nil {
+		return row, err
+	}
+	rebuildCount := rres.Count()
+	row.RebuildMS = ms(start)
+
+	// Parity prechecks (outside the timed windows): counts, then the ordered
+	// sample and aggregate tables byte for byte against the live database.
+	if coldCount != row.Tuples || rebuildCount != row.Tuples {
+		return row, fmt.Errorf("bench: exp12 scale %d: counts diverge: live %d, cold %d, rebuild %d",
+			scale, row.Tuples, coldCount, rebuildCount)
+	}
+	for _, leg := range []struct {
+		name string
+		db   *fdb.DB
+	}{{"cold", cdb}, {"rebuild", rdb}} {
+		s, a, err := exp12Probes(leg.db, sample, agg)
+		if err != nil {
+			return row, err
+		}
+		if s != liveSample {
+			return row, fmt.Errorf("bench: exp12 scale %d: %s ordered sample diverges from live:\n%s\nwant:\n%s",
+				scale, leg.name, s, liveSample)
+		}
+		if a != liveAgg {
+			return row, fmt.Errorf("bench: exp12 scale %d: %s aggregate table diverges from live:\n%s\nwant:\n%s",
+				scale, leg.name, a, liveAgg)
+		}
+	}
+	if row.ColdMS > 0 {
+		row.Speedup = row.RebuildMS / row.ColdMS
+	}
+	return row, nil
+}
+
+// exp12Probes renders the two parity probes of one database to text.
+func exp12Probes(db *fdb.DB, sample, agg []fdb.Clause) (string, string, error) {
+	sres, err := db.Query(sample...)
+	if err != nil {
+		return "", "", err
+	}
+	ares, err := db.QueryAgg(agg...)
+	if err != nil {
+		return "", "", err
+	}
+	return sres.Table(-1), ares.Table(-1), nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExperiment12Persist runs the cold-open experiment end to end at small
+// scales: the parity prechecks inside the experiment are the real assertion
+// (ordered sample + aggregate table byte-identical across live, cold-open
+// and rebuilt databases); here we additionally pin the row bookkeeping.
+func TestExperiment12Persist(t *testing.T) {
+	scales := []int{1, 2}
+	if testing.Short() {
+		scales = []int{1}
+	}
+	rows, err := Experiment12Persist(rand.New(rand.NewSource(1)), Exp12Config{Scales: scales, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(scales) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(scales))
+	}
+	for _, r := range rows {
+		if r.Tuples <= 0 {
+			t.Errorf("scale %d: no result tuples", r.Scale)
+		}
+		if r.FileKB <= 0 {
+			t.Errorf("scale %d: snapshot file empty", r.Scale)
+		}
+		if r.ColdMS <= 0 || r.RebuildMS <= 0 {
+			t.Errorf("scale %d: missing timings: cold %.3f rebuild %.3f", r.Scale, r.ColdMS, r.RebuildMS)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("scale %d: speedup not computed", r.Scale)
+		}
+	}
+}

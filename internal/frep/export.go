@@ -1,0 +1,62 @@
+package frep
+
+import (
+	"fmt"
+
+	"repro/internal/ftree"
+)
+
+// NodeSpan is the public, serialisable form of one node's column spans
+// within an arena: node ni's value column is Arena.Vals[ValLo:ValHi] and its
+// offset column Arena.Offs[OffLo:OffHi]. Spans are listed in the pre-order
+// of the f-tree (the same order Node/Kids/Roots use).
+type NodeSpan struct {
+	ValLo, ValHi int32
+	OffLo, OffHi int32
+}
+
+// Export exposes e's arena and per-node pre-order spans so a caller (the
+// snapshot store) can serialise the encoding without copying it. The
+// returned slices alias e's immutable backing storage and must be treated
+// as read-only.
+func (e *Enc) Export() (Arena, []NodeSpan) {
+	spans := make([]NodeSpan, len(e.cols))
+	for i, c := range e.cols {
+		spans[i] = NodeSpan{ValLo: c.valLo, ValHi: c.valHi, OffLo: c.offLo, OffHi: c.offHi}
+	}
+	return e.A, spans
+}
+
+// AdoptEnc reconstructs an encoded representation over t from an exported
+// arena and span list without copying: the resulting Enc's columns point
+// directly at a.Vals/a.Offs, which may be memory-mapped read-only storage.
+// Spans must be listed in t's pre-order. Every span is bounds-checked
+// against the arena and the full structural Validate pass runs before the
+// Enc is returned, so hostile inputs yield an error, never a panic or an
+// out-of-bounds view.
+func AdoptEnc(t *ftree.T, a Arena, spans []NodeSpan) (*Enc, error) {
+	ti := indexTree(t)
+	if len(spans) != len(ti.nodes) {
+		return nil, fmt.Errorf("frep: adopt: %d spans for %d tree nodes", len(spans), len(ti.nodes))
+	}
+	cols := make([]nodeCol, len(spans))
+	for i, s := range spans {
+		if s.ValLo < 0 || s.ValLo > s.ValHi || int(s.ValHi) > len(a.Vals) ||
+			s.OffLo < 0 || s.OffLo > s.OffHi || int(s.OffHi) > len(a.Offs) {
+			return nil, fmt.Errorf("frep: adopt: node %d span %+v outside arena (%d vals, %d offs)",
+				i, s, len(a.Vals), len(a.Offs))
+		}
+		cols[i] = nodeCol{valLo: s.ValLo, valHi: s.ValHi, offLo: s.OffLo, offHi: s.OffHi}
+	}
+	e := &Enc{Tree: t, A: a, cols: cols, ti: ti}
+	for _, ri := range ti.roots {
+		if e.NumEntries(ri) == 0 {
+			e.Empty = true
+			break
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -16,6 +16,7 @@ package fuzz
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"strconv"
 
@@ -228,7 +229,46 @@ func Check(seed int64, parallelism int) error {
 }
 
 // Run executes the case at the given parallelism against a fresh database.
-func (c *Case) Run(parallelism int) error {
+func (c *Case) Run(parallelism int) error { return c.run(parallelism, nil) }
+
+// CheckPersisted derives the case for seed and runs it through a snapshot
+// round-trip: the database is built exactly as Check builds it, saved as a
+// zero-copy snapshot file under dir, reopened from the file (mmap when
+// available), and the oracle comparison runs against the reopened database.
+// Opened-snapshot reads thereby face the same differential bar as live
+// ones — including the adopted pre-built encoding, since the plan cache is
+// warmed before the save so the file carries the arena the reopened
+// database's first query adopts.
+func CheckPersisted(seed int64, parallelism int, dir string) error {
+	c, err := NewCase(seed)
+	if err != nil {
+		return fmt.Errorf("fuzz: seed %d: generate: %v", seed, err)
+	}
+	return c.run(parallelism, func(db *fdb.DB, clauses []fdb.Clause) (*fdb.DB, error) {
+		if len(c.aggs) == 0 {
+			// Memoise the encoding so the snapshot carries it and the
+			// reopened database exercises the zero-copy adoption path.
+			if _, err := db.Query(clauses...); err != nil {
+				return nil, err
+			}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("case%d.fdb", seed))
+		if err := db.SaveSnapshot(path); err != nil {
+			return nil, err
+		}
+		ndb, err := fdb.OpenSnapshotFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ndb.SetParallelism(parallelism)
+		return ndb, nil
+	})
+}
+
+// run builds the case's database, optionally routes it through a persist
+// hook (which may replace it with a reopened copy), and checks the result
+// of every query variant against the flat oracle.
+func (c *Case) run(parallelism int, persist func(*fdb.DB, []fdb.Clause) (*fdb.DB, error)) error {
 	fail := func(format string, args ...interface{}) error {
 		return fmt.Errorf("fuzz: seed %d (p=%d): %s", c.Seed, parallelism, fmt.Sprintf(format, args...))
 	}
@@ -264,6 +304,14 @@ func (c *Case) Run(parallelism int) error {
 		} else {
 			clauses = append(clauses, fdb.Cmp(string(s.A), s.Op, int64(s.C)))
 		}
+	}
+
+	if persist != nil {
+		ndb, err := persist(db, clauses)
+		if err != nil {
+			return fail("persist: %v", err)
+		}
+		db = ndb
 	}
 
 	// Oracle: the flat relational engine on the same qualified query.

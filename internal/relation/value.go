@@ -155,6 +155,22 @@ func NewDict() *Dict {
 	return &Dict{toID: make(map[string]Value)}
 }
 
+// NewDictFromStrings reconstructs a dictionary from a previously assigned
+// code table (code i ↔ strs[i], the layout Snapshot returns): the bridge a
+// persisted database uses to reopen with the exact encoding its stored
+// values were written under. Duplicate strings are rejected — two codes for
+// one string would make Encode nondeterministic.
+func NewDictFromStrings(strs []string) (*Dict, error) {
+	d := &Dict{toID: make(map[string]Value, len(strs)), toS: append([]string(nil), strs...)}
+	for i, s := range strs {
+		if _, dup := d.toID[s]; dup {
+			return nil, fmt.Errorf("relation: duplicate dictionary string %q", s)
+		}
+		d.toID[s] = Value(i)
+	}
+	return d, nil
+}
+
 // Encode returns the Value for s, assigning a fresh id on first use.
 func (d *Dict) Encode(s string) Value {
 	d.mu.RLock()

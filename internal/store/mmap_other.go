@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// errNoMmap makes Open fall back to reading the file into the heap on
+// platforms without a memory-mapping implementation here.
+var errNoMmap = errors.New("store: mmap unavailable on this platform")
+
+func mapFile(path string) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. A private read-only mapping is all the
+// format needs: the engine never writes through opened columns, and
+// PROT_READ turns any accidental write into a loud fault instead of silent
+// corruption.
+func mapFile(path string) ([]byte, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("store: cannot map %d-byte file", size)
+	}
+	return syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -53,6 +53,7 @@ type Stmt struct {
 	streamable bool                 // the compiled tree streams the ORDER BY
 	cost       float64              // s(T) of the optimal f-tree
 	par        int                  // WithParallelism override; 0 = inherit from the DB
+	fp         string               // plan-cache fingerprint; "" when not cached
 
 	snap *Snapshot // non-nil: pinned to this snapshot's versions
 
@@ -766,6 +767,13 @@ func (st *Stmt) cachedEnc(ctx context.Context, d *stmtData) (*frep.Enc, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.enc == nil {
+		// A database opened from a snapshot file may hold a pre-built arena
+		// for exactly this plan at exactly these input versions; adopting it
+		// skips the build entirely (the arena stays in the mapped file).
+		if enc := st.adoptSaved(d); enc != nil {
+			d.enc = enc
+			return d.enc, nil
+		}
 		enc, err := fbuild.BuildEncParallelContext(ctx, d.rels, st.tree.Clone(), st.parallelism())
 		if err != nil {
 			return nil, err
