@@ -14,6 +14,7 @@
 //	fdbench -exp 10           # write throughput: incremental delta merge vs full rebuild
 //	fdbench -exp 11           # network front-end: library vs wire vs pipelined wire
 //	fdbench -exp 12           # zero-copy snapshot cold open vs TSV parse + rebuild
+//	fdbench -exp 13           # greedy planning tier vs exhaustive search: compile latency + plan cost
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-12; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-13; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -55,6 +56,7 @@ func main() {
 		exp10(*seed, *runs)
 		exp11(*seed)
 		exp12(*seed, *runs)
+		exp13(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -79,8 +81,10 @@ func main() {
 		exp11(*seed)
 	case 12:
 		exp12(*seed, *runs)
+	case 13:
+		exp13(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..12")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..13")
 		os.Exit(2)
 	}
 }
@@ -476,6 +480,49 @@ func exp12(seed int64, runs int) {
 		}
 		fmt.Printf("retailer %d %d %.1f %.3f %.3f %.3f %.1f\n",
 			scale, r.Tuples/int64(n), r.FileKB/f, r.SaveMS/f, r.ColdMS/f, r.RebuildMS/f, speedup)
+	}
+}
+
+func exp13(seed int64, runs int) {
+	fmt.Println("# Experiment 13: greedy statistics-free planning tier vs exhaustive branch-and-bound — cold compile latency and plan cost")
+	fmt.Println("# workload scale result_tuples greedy_us exhaustive_us speedup greedy_cost optimal_cost cost_ratio")
+	rng := rand.New(rand.NewSource(seed))
+	run := func(sweep func(*rand.Rand, bench.Exp13Config) (bench.Exp13Row, error), scale int) {
+		var acc bench.Exp13Row
+		n := 0
+		for i := 0; i < runs; i++ {
+			row, err := sweep(rng, bench.Exp13Config{Scale: scale})
+			if err != nil {
+				// The experiment doubles as the greedy-vs-exhaustive parity and
+				// plan-quality check CI runs; its failure must fail the process.
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				os.Exit(1)
+			}
+			acc.Workload = row.Workload
+			acc.Tuples += row.Tuples
+			acc.GreedyUS += row.GreedyUS
+			acc.ExhaustiveUS += row.ExhaustiveUS
+			acc.GreedyCost += row.GreedyCost
+			acc.OptimalCost += row.OptimalCost
+			n++
+		}
+		f := float64(n)
+		speedup, ratio := 0.0, 0.0
+		if acc.GreedyUS > 0 {
+			speedup = acc.ExhaustiveUS / acc.GreedyUS
+		}
+		if acc.OptimalCost > 0 {
+			ratio = acc.GreedyCost / acc.OptimalCost
+		}
+		fmt.Printf("%s %d %d %.1f %.1f %.1f %.3f %.3f %.3f\n",
+			acc.Workload, scale, acc.Tuples/int64(n), acc.GreedyUS/f, acc.ExhaustiveUS/f,
+			speedup, acc.GreedyCost/f, acc.OptimalCost/f, ratio)
+	}
+	for _, scale := range []int{1, 4} {
+		run(bench.Experiment13Retailer, scale)
+	}
+	for _, length := range []int{4, 6, 8} {
+		run(bench.Experiment13Chain, length)
 	}
 }
 

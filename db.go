@@ -36,6 +36,16 @@ type DB struct {
 	// snaps counts open snapshots (diagnostics; see OpenSnapshots).
 	snaps atomic.Int64
 
+	// Planner tier policy (see planner.go): mode, exhaustive-search budget,
+	// auto-escalation cost threshold (float bits; 0 = default), promotion
+	// hit count, and the tier decision counters. All atomic: prepareSpec
+	// and the cache hit path never contend with the Set* knobs.
+	plannerMode      atomic.Int32
+	plannerBudget    atomic.Int64
+	plannerThreshold atomic.Uint64
+	plannerPromote   atomic.Int64
+	pstats           plannerCounters
+
 	// adopted indexes the pre-built encodings a snapshot file carried, by
 	// plan fingerprint. Populated once by OpenSnapshotFile before the DB is
 	// handed out and read-only afterwards, so lookups take no lock. backing
@@ -372,6 +382,7 @@ func (db *DB) cachedStmt(s *spec) (*Stmt, error) {
 		return nil, err
 	}
 	if st, ok := db.cache.get(key); ok {
+		db.maybePromote(st)
 		return st, nil
 	}
 	// The miss path resolves the relations a second time inside
@@ -411,6 +422,7 @@ func (db *DB) PrepareCached(clauses ...Clause) (*Stmt, error) {
 		return nil, err
 	}
 	if st, ok := db.cache.get(key); ok {
+		db.maybePromote(st)
 		return st, nil
 	}
 	st, err := db.prepareSpec(s, nil)
@@ -508,9 +520,21 @@ func (db *DB) fingerprint(s *spec) (string, []string, error) {
 	return key, names, nil
 }
 
-// CacheStats returns the plan cache counters: Hits and Misses count Query
-// lookups, Entries is the current size.
-func (db *DB) CacheStats() CacheStats { return db.cache.stats() }
+// CacheStats returns the plan cache counters — Hits and Misses count Query
+// lookups, Entries is the current size — and the planner tier counters:
+// GreedyPlans (statements carrying a greedy-planned tree), Escalations
+// (exhaustive searches attempted, whether by threshold, forced mode or
+// promotion), BudgetFallbacks (searches that blew their exploration budget
+// and kept the greedy tree) and Promotions (background re-optimisations
+// that swapped a cached statement's plan).
+func (db *DB) CacheStats() CacheStats {
+	cs := db.cache.stats()
+	cs.GreedyPlans = db.pstats.greedy.Load()
+	cs.Escalations = db.pstats.escalations.Load()
+	cs.BudgetFallbacks = db.pstats.fallbacks.Load()
+	cs.Promotions = db.pstats.promotions.Load()
+	return cs
+}
 
 // SetPlanCacheCapacity resizes the plan cache (default 64 entries); 0
 // disables caching. Counters are preserved.

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	fdb "repro"
+	"repro/internal/core"
+	"repro/internal/frep"
+	"repro/internal/opt"
+	"repro/internal/relation"
+)
+
+// Exp13Row is one point of Experiment 13: cold planning latency through the
+// greedy statistics-free tier against the exhaustive branch-and-bound
+// search, on identical workloads. The timed legs call the two planners
+// directly on the workload's attribute classes (the way Experiments 1 and 2
+// time the optimiser), so data-dependent Prepare work — snapshotting,
+// sorting — doesn't mask the search. Before any timing is reported, both
+// tiers' plans are executed through the public API with the planner mode
+// forced, and their flat results compared (modulo tuple and column order —
+// the trees differ); the greedy tree's cost s(T) is reported next to the
+// exhaustive optimum and must stay within exp13MaxCostRatio of it.
+type Exp13Row struct {
+	Workload     string
+	Scale        int
+	Tuples       int64   // flat tuples of the join result
+	GreedyUS     float64 // mean cold planning latency, greedy tier (µs)
+	ExhaustiveUS float64 // mean cold planning latency, exhaustive search (µs)
+	Speedup      float64 // ExhaustiveUS / GreedyUS
+	GreedyCost   float64 // s(T) of the greedy tree
+	OptimalCost  float64 // s(T) of the exhaustive tree
+	CostRatio    float64 // GreedyCost / OptimalCost
+}
+
+// Exp13Config parameterises one Experiment 13 measurement.
+type Exp13Config struct {
+	Scale int
+	Iters int // cold Prepare repetitions per tier (default 30)
+}
+
+// exp13MaxCostRatio is the plan-quality bar the experiment enforces on its
+// workloads: the greedy tree may cost at most 15% more than the optimum.
+const exp13MaxCostRatio = 1.15
+
+// Experiment13Retailer: the three-relation retailer join — the OLTP-shaped
+// case where greedy planning should land on the optimal tree outright.
+func Experiment13Retailer(rng *rand.Rand, cfg Exp13Config) (Exp13Row, error) {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	db, join := exp9Retailer(rng, scale)
+	q := &core.Query{
+		Relations: []*relation.Relation{
+			relation.New("Orders", relation.Schema{"Orders.oid", "Orders.item"}),
+			relation.New("Stock", relation.Schema{"Stock.location", "Stock.item"}),
+			relation.New("Disp", relation.Schema{"Disp.dispatcher", "Disp.location"}),
+		},
+		Equalities: []core.Equality{
+			{A: "Orders.item", B: "Stock.item"},
+			{A: "Stock.location", B: "Disp.location"},
+		},
+	}
+	return experiment13("retailer", cfg, db, join, q)
+}
+
+// Experiment13Chain: the length-n chain join of Example 6 — the regime
+// where the exhaustive search's exponential blowup shows while the greedy
+// tier stays polynomial.
+func Experiment13Chain(rng *rand.Rand, cfg Exp13Config) (Exp13Row, error) {
+	db, join := exp13Chain(rng, cfg.Scale)
+	q := &core.Query{}
+	for i := 1; i <= cfg.Scale; i++ {
+		name := fmt.Sprintf("R%d", i)
+		q.Relations = append(q.Relations, relation.New(name,
+			relation.Schema{relation.Attribute(name + ".A"), relation.Attribute(name + ".B")}))
+	}
+	for i := 1; i < cfg.Scale; i++ {
+		q.Equalities = append(q.Equalities, core.Equality{
+			A: relation.Attribute(fmt.Sprintf("R%d.B", i)),
+			B: relation.Attribute(fmt.Sprintf("R%d.A", i+1)),
+		})
+	}
+	return experiment13("chain", cfg, db, join, q)
+}
+
+// exp13Chain is exp9Chain at planner scale: the same query shape over 30
+// tuples per relation, so the parity executions stay cheap.
+func exp13Chain(rng *rand.Rand, length int) (*fdb.DB, []fdb.Clause) {
+	db := fdb.New()
+	var from []string
+	for i := 1; i <= length; i++ {
+		name := fmt.Sprintf("R%d", i)
+		db.MustCreate(name, "A", "B")
+		for j := 0; j < 30; j++ {
+			db.MustInsert(name, rng.Intn(10)+1, rng.Intn(10)+1)
+		}
+		from = append(from, name)
+	}
+	clauses := []fdb.Clause{fdb.From(from...)}
+	for i := 1; i < length; i++ {
+		clauses = append(clauses, fdb.Eq(fmt.Sprintf("R%d.B", i), fmt.Sprintf("R%d.A", i+1)))
+	}
+	return db, clauses
+}
+
+// experiment13 runs one measurement: parity-check the two tiers' plans on
+// the same query through the public API, enforce the cost-ratio bar, then
+// time the two planners directly on the query's attribute classes.
+func experiment13(workload string, cfg Exp13Config, db *fdb.DB, join []fdb.Clause, q *core.Query) (Exp13Row, error) {
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 30
+	}
+	row := Exp13Row{Workload: workload, Scale: cfg.Scale}
+
+	classes, schemas := q.Classes(), q.Schemas()
+	var err error
+	if _, row.GreedyCost, err = opt.GreedyFTree(classes, schemas); err != nil {
+		return row, err
+	}
+	if _, row.OptimalCost, err = opt.OptimalFTree(classes, schemas, opt.TreeSearchOptions{}); err != nil {
+		return row, err
+	}
+	if row.OptimalCost > 0 {
+		row.CostRatio = row.GreedyCost / row.OptimalCost
+	}
+	if row.CostRatio > exp13MaxCostRatio {
+		return row, fmt.Errorf("bench: exp13 %s/%d: greedy plan cost %.3f exceeds %.0f%% of optimal %.3f",
+			workload, cfg.Scale, row.GreedyCost, 100*exp13MaxCostRatio, row.OptimalCost)
+	}
+
+	// Parity precheck: both tiers must enumerate the same flat result
+	// through the public API with the planner mode forced.
+	db.SetPlannerMode(fdb.PlannerGreedy)
+	gst, err := db.Prepare(join...)
+	if err != nil {
+		return row, err
+	}
+	db.SetPlannerMode(fdb.PlannerExhaustive)
+	est, err := db.Prepare(join...)
+	if err != nil {
+		return row, err
+	}
+	gres, err := gst.Exec()
+	if err != nil {
+		return row, err
+	}
+	eres, err := est.Exec()
+	if err != nil {
+		return row, err
+	}
+	row.Tuples = gres.Count()
+	if err := exp13Parity(workload, cfg.Scale, gres, eres); err != nil {
+		return row, err
+	}
+
+	// Timed legs: the planners alone, on the same classes the engine hands
+	// them at Prepare time.
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := opt.OptimalFTree(classes, schemas, opt.TreeSearchOptions{}); err != nil {
+			return row, err
+		}
+	}
+	row.ExhaustiveUS = float64(time.Since(start).Nanoseconds()) / 1e3 / float64(iters)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := opt.GreedyFTree(classes, schemas); err != nil {
+			return row, err
+		}
+	}
+	row.GreedyUS = float64(time.Since(start).Nanoseconds()) / 1e3 / float64(iters)
+	if row.GreedyUS > 0 {
+		row.Speedup = row.ExhaustiveUS / row.GreedyUS
+	}
+	return row, nil
+}
+
+// exp13Parity compares two results of the same query planned through
+// different trees: the exhaustive result's tuples are projected into the
+// greedy result's column order, both sides sorted with the deterministic
+// tuple comparator, and every position must match.
+func exp13Parity(workload string, scale int, gres, eres *fdb.Result) error {
+	if gres.Count() != eres.Count() {
+		return fmt.Errorf("bench: exp13 %s/%d: greedy %d tuples, exhaustive %d",
+			workload, scale, gres.Count(), eres.Count())
+	}
+	var gSchema, eSchema relation.Schema
+	for _, a := range gres.Schema() {
+		gSchema = append(gSchema, relation.Attribute(a))
+	}
+	for _, a := range eres.Schema() {
+		eSchema = append(eSchema, relation.Attribute(a))
+	}
+	got := drain(gres.Iter())
+	want := project(drain(eres.Iter()), eSchema, gSchema)
+	cmp := frep.TupleCompare(gSchema, nil, nil)
+	sort.SliceStable(got, func(i, j int) bool { return cmp(got[i], got[j]) < 0 })
+	sort.SliceStable(want, func(i, j int) bool { return cmp(want[i], want[j]) < 0 })
+	for i := range got {
+		if got[i].Compare(want[i]) != 0 {
+			return fmt.Errorf("bench: exp13 %s/%d: results diverge at %d: greedy %v, exhaustive %v",
+				workload, scale, i, got[i], want[i])
+		}
+	}
+	return nil
+}

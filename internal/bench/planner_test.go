@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExperiment13Planner runs the planning-tier experiment end to end at
+// small iteration counts: parity and the cost-ratio bar are enforced inside
+// the experiment, so a pass here is the differential guarantee CI relies on.
+func TestExperiment13Planner(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	row, err := Experiment13Retailer(rng, Exp13Config{Scale: 1, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Tuples == 0 {
+		t.Fatal("retailer join empty")
+	}
+	if row.GreedyUS <= 0 || row.ExhaustiveUS <= 0 {
+		t.Fatalf("timings missing: %+v", row)
+	}
+	for _, length := range []int{4, 6} {
+		row, err := Experiment13Chain(rng, Exp13Config{Scale: length, Iters: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.CostRatio > exp13MaxCostRatio {
+			t.Fatalf("chain %d cost ratio %.3f", length, row.CostRatio)
+		}
+	}
+}

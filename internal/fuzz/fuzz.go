@@ -44,7 +44,13 @@ type Querier interface {
 // Case is one derived differential test case. All randomness comes from the
 // seed; two Cases with the same seed are identical.
 type Case struct {
-	Seed     int64
+	Seed int64
+	// Mode forces a planning tier on the case's database (zero value is
+	// fdb.PlannerAuto). The oracle comparison is tier-blind, so running the
+	// same seed under PlannerGreedy and PlannerExhaustive is the
+	// greedy-vs-exhaustive differential: both tiers must reproduce the same
+	// exact tuple sequence.
+	Mode     fdb.PlannerMode
 	rels     []*relation.Relation // qualified-schema inputs for the oracle
 	names    []string             // relation names, creation order
 	bare     map[string][]string  // relation name -> bare attribute names
@@ -231,6 +237,20 @@ func Check(seed int64, parallelism int) error {
 // Run executes the case at the given parallelism against a fresh database.
 func (c *Case) Run(parallelism int) error { return c.run(parallelism, nil) }
 
+// CheckPlanner derives the case for seed and runs it with the database
+// forced to the given planning tier. Checking a seed under both
+// fdb.PlannerGreedy and fdb.PlannerExhaustive proves the tiers agree: each
+// leg must match the flat oracle's exact tuple sequence, so any divergence
+// between the greedy and exhaustive trees surfaces as a failure in one leg.
+func CheckPlanner(seed int64, parallelism int, mode fdb.PlannerMode) error {
+	c, err := NewCase(seed)
+	if err != nil {
+		return fmt.Errorf("fuzz: seed %d: generate: %v", seed, err)
+	}
+	c.Mode = mode
+	return c.Run(parallelism)
+}
+
 // CheckPersisted derives the case for seed and runs it through a snapshot
 // round-trip: the database is built exactly as Check builds it, saved as a
 // zero-copy snapshot file under dir, reopened from the file (mmap when
@@ -270,11 +290,12 @@ func CheckPersisted(seed int64, parallelism int, dir string) error {
 // of every query variant against the flat oracle.
 func (c *Case) run(parallelism int, persist func(*fdb.DB, []fdb.Clause) (*fdb.DB, error)) error {
 	fail := func(format string, args ...interface{}) error {
-		return fmt.Errorf("fuzz: seed %d (p=%d): %s", c.Seed, parallelism, fmt.Sprintf(format, args...))
+		return fmt.Errorf("fuzz: seed %d (p=%d mode=%d): %s", c.Seed, parallelism, c.Mode, fmt.Sprintf(format, args...))
 	}
 
 	db := fdb.New()
 	db.SetParallelism(parallelism)
+	db.SetPlannerMode(c.Mode)
 	for _, rel := range c.rels {
 		if err := db.Create(rel.Name, c.bare[rel.Name]...); err != nil {
 			return fail("create: %v", err)

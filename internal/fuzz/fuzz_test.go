@@ -3,6 +3,8 @@ package fuzz
 import (
 	"runtime"
 	"testing"
+
+	fdb "repro"
 )
 
 // parallelisms returns the worker counts every case runs at: the serial
@@ -37,6 +39,33 @@ func TestDifferential(t *testing.T) {
 		}
 	}
 	t.Logf("fuzz: %d queries checked (%d seeds × %d parallelism legs)", queries, seeds, len(ps))
+}
+
+// TestDifferentialPlanners is the greedy-vs-exhaustive planner differential:
+// every seed runs once forced to the polynomial greedy tier and once forced
+// to the exhaustive search, and both legs must reproduce the flat oracle's
+// exact tuple sequence — ≥1500 oracle-compared queries per full package run
+// (750 seeds × 2 tiers), zero divergence allowed. Failures reproduce with
+// fuzz.CheckPlanner(seed, 1, mode).
+func TestDifferentialPlanners(t *testing.T) {
+	seeds := 750
+	if testing.Short() {
+		seeds = 60
+	}
+	modes := []fdb.PlannerMode{fdb.PlannerGreedy, fdb.PlannerExhaustive}
+	queries := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, mode := range modes {
+			if err := CheckPlanner(seed, 1, mode); err != nil {
+				t.Fatal(err)
+			}
+			queries++
+		}
+	}
+	if !testing.Short() && queries < 1500 {
+		t.Fatalf("planner differential too small: %d oracle-compared queries < 1500", queries)
+	}
+	t.Logf("fuzz: %d planner-tier queries checked (%d seeds × %d tiers)", queries, seeds, len(modes))
 }
 
 // TestCaseDeterminism: the same seed derives the same case — the property

@@ -46,17 +46,18 @@ type treeSearch struct {
 	coverMemo map[uint64]float64
 	explored  int
 	budget    int
+	greedy    bool // pick each root heuristically instead of searching
 }
 
-// OptimalFTree returns a normalised f-tree over the given attribute classes
-// (with the relation schemas as hyperedges and dependency sets) whose cost
-// s(T) is minimal, together with that cost.
-func OptimalFTree(classes []relation.AttrSet, rels []relation.AttrSet, opts TreeSearchOptions) (*ftree.T, float64, error) {
+// newTreeSearch builds the shared enumeration state (relation signatures,
+// dependence adjacency, cover memo) used by the exhaustive and greedy
+// optimisers alike.
+func newTreeSearch(classes []relation.AttrSet, rels []relation.AttrSet, opts TreeSearchOptions) (*treeSearch, error) {
 	if len(rels) > maxRels {
-		return nil, 0, fmt.Errorf("opt: more than %d relations", maxRels)
+		return nil, fmt.Errorf("opt: more than %d relations", maxRels)
 	}
 	if len(classes) > maxClasses {
-		return nil, 0, fmt.Errorf("opt: more than %d attribute classes", maxClasses)
+		return nil, fmt.Errorf("opt: more than %d attribute classes", maxClasses)
 	}
 	ts := &treeSearch{
 		classes:   classes,
@@ -83,11 +84,27 @@ func OptimalFTree(classes []relation.AttrSet, rels []relation.AttrSet, opts Tree
 			}
 		}
 	}
+	return ts, nil
+}
+
+// allClasses is the bitmask covering every class index.
+func (ts *treeSearch) allClasses() uint64 {
 	all := uint64(0)
-	for i := range classes {
+	for i := range ts.classes {
 		all |= 1 << uint(i)
 	}
-	roots, s, err := ts.solveForest(all, 0)
+	return all
+}
+
+// OptimalFTree returns a normalised f-tree over the given attribute classes
+// (with the relation schemas as hyperedges and dependency sets) whose cost
+// s(T) is minimal, together with that cost.
+func OptimalFTree(classes []relation.AttrSet, rels []relation.AttrSet, opts TreeSearchOptions) (*ftree.T, float64, error) {
+	ts, err := newTreeSearch(classes, rels, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	roots, s, err := ts.solveForest(ts.allClasses(), 0)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -140,8 +157,12 @@ func (ts *treeSearch) components(k uint64) []uint64 {
 }
 
 // solveComponent picks the root of a connected component and recurses,
-// pruning branches whose path cover already reaches bound.
+// pruning branches whose path cover already reaches bound. In greedy mode
+// the root is chosen heuristically instead of enumerated.
 func (ts *treeSearch) solveComponent(comp uint64, pathBits uint64, bound float64) (*ftree.Node, float64, error) {
+	if ts.greedy {
+		return ts.greedyComponent(comp, pathBits)
+	}
 	ts.explored++
 	if ts.explored > ts.budget {
 		return nil, 0, ErrBudget

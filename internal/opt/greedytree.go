@@ -1,0 +1,120 @@
+// Greedy f-tree ordering: the statistics-free polynomial counterpart of
+// OptimalFTree. Where the exhaustive search enumerates every choice of root
+// for every (sub-)component under branch-and-bound, the greedy heuristic
+// commits to one root per component and never backtracks. The root is chosen
+// from the same structural signals the exhaustive search prunes on — the
+// fractional edge cover of the root-to-leaf path it would create (cover
+// structure) and how widely the class is shared across relations (key
+// classes) — so each choice is scored by the exact cost model s(T), just
+// without the exponential enumeration. Planning is O(n^2) cover evaluations
+// instead of worst-case super-exponential, has no exploration budget and can
+// never return ErrBudget; on solvable queries it always produces a valid
+// normalised f-tree, typically within a few percent of the optimum.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/ftree"
+	"repro/internal/relation"
+)
+
+// GreedyFTree returns a normalised f-tree over the given attribute classes
+// chosen by the greedy ordering heuristic, together with its exact cost
+// s(T). It is polynomial in the number of classes and never returns
+// ErrBudget; it fails only on queries no f-tree can cover (a class outside
+// every relation), exactly when OptimalFTree would.
+func GreedyFTree(classes []relation.AttrSet, rels []relation.AttrSet) (*ftree.T, float64, error) {
+	ts, err := newTreeSearch(classes, rels, TreeSearchOptions{Budget: math.MaxInt})
+	if err != nil {
+		return nil, 0, err
+	}
+	ts.greedy = true
+	roots, s, err := ts.solveForest(ts.allClasses(), 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ftree.New(roots, rels), s, nil
+}
+
+// GreedyFTreeOrdered is the order-constrained greedy search: the key-class
+// chain is forced to the front of the pre-order walk under the same
+// compatibility rules as OptimalFTreeOrdered (it returns
+// ErrOrderIncompatible for exactly the same chains), while every
+// sub-component off the chain is solved greedily. An empty chain is the
+// unconstrained greedy search.
+func GreedyFTreeOrdered(classes []relation.AttrSet, rels []relation.AttrSet, chain []int) (*ftree.T, float64, error) {
+	if len(chain) == 0 {
+		return GreedyFTree(classes, rels)
+	}
+	ts, err := newTreeSearch(classes, rels, TreeSearchOptions{Budget: math.MaxInt})
+	if err != nil {
+		return nil, 0, err
+	}
+	ts.greedy = true
+	return ts.orderedForest(chain)
+}
+
+// greedyComponent roots the connected component comp below pathBits at the
+// heuristically best class and recurses into the resulting sub-components.
+// Root choice, in order: minimal cover of the extended path (the quantity
+// s(T) maximises over), then minimal largest remaining sub-component (a
+// balanced split keeps every root-to-leaf path short — the treedepth
+// signal; an unbalanced root leaves one long chain whose deep path pays),
+// then maximal branching, then maximal relation coverage (key classes
+// shared by many relations belong high, where their prefix is shared), then
+// lowest class index for determinism.
+func (ts *treeSearch) greedyComponent(comp uint64, pathBits uint64) (*ftree.Node, float64, error) {
+	best := -1
+	var bestCover float64
+	var bestMaxSub, bestBranch, bestKey int
+	seen := map[uint64]bool{}
+	for c := 0; c < len(ts.classes); c++ {
+		bit := uint64(1) << uint(c)
+		if comp&bit == 0 {
+			continue
+		}
+		// Classes covered by exactly the same relations are interchangeable
+		// as roots; keep the lowest-indexed representative.
+		if seen[ts.classSig[c]] {
+			continue
+		}
+		seen[ts.classSig[c]] = true
+		cov := ts.cover(pathBits | bit)
+		subs := ts.components(comp &^ bit)
+		branch := len(subs)
+		maxSub := 0
+		for _, s := range subs {
+			if n := bits.OnesCount64(s); n > maxSub {
+				maxSub = n
+			}
+		}
+		key := bits.OnesCount64(ts.classSig[c])
+		if best < 0 || cov < bestCover ||
+			(cov == bestCover && (maxSub < bestMaxSub ||
+				(maxSub == bestMaxSub && (branch > bestBranch ||
+					(branch == bestBranch && key > bestKey))))) {
+			best, bestCover, bestMaxSub, bestBranch, bestKey = c, cov, maxSub, branch, key
+		}
+	}
+	if best < 0 || math.IsInf(bestCover, 1) {
+		return nil, 0, fmt.Errorf("opt: component unsolvable (uncoverable class?)")
+	}
+	bit := uint64(1) << uint(best)
+	newPath := pathBits | bit
+	cost := bestCover
+	var children []*ftree.Node
+	for _, sub := range ts.components(comp &^ bit) {
+		node, s, err := ts.greedyComponent(sub, newPath)
+		if err != nil {
+			return nil, 0, err
+		}
+		children = append(children, node)
+		if s > cost {
+			cost = s
+		}
+	}
+	return ftree.NewNode(ts.classes[best].Sorted()...).Add(children...), cost, nil
+}

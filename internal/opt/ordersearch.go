@@ -32,43 +32,18 @@ func OptimalFTreeOrdered(classes []relation.AttrSet, rels []relation.AttrSet, ch
 	if len(chain) == 0 {
 		return OptimalFTree(classes, rels, opts)
 	}
-	if len(rels) > maxRels {
-		return nil, 0, errors.New("opt: more than 64 relations")
+	ts, err := newTreeSearch(classes, rels, opts)
+	if err != nil {
+		return nil, 0, err
 	}
-	if len(classes) > maxClasses {
-		return nil, 0, errors.New("opt: more than 64 attribute classes")
-	}
-	ts := &treeSearch{
-		classes:   classes,
-		rels:      rels,
-		coverMemo: map[uint64]float64{},
-		budget:    opts.Budget,
-	}
-	if ts.budget == 0 {
-		ts.budget = 2_000_000
-	}
-	ts.classSig = make([]uint64, len(classes))
-	for i, c := range classes {
-		for j, r := range rels {
-			if r.Intersects(c) {
-				ts.classSig[i] |= 1 << uint(j)
-			}
-		}
-	}
-	ts.adj = make([]uint64, len(classes))
-	for i := range classes {
-		for j := range classes {
-			if i != j && ts.classSig[i]&ts.classSig[j] != 0 {
-				ts.adj[i] |= 1 << uint(j)
-			}
-		}
-	}
-	all := uint64(0)
-	for i := range classes {
-		all |= 1 << uint(i)
-	}
+	return ts.orderedForest(chain)
+}
 
-	comps := ts.components(all)
+// orderedForest assembles the forest with the key-class chain forced to the
+// front of the pre-order walk; sub-components off the chain are solved by
+// solveComponent (exhaustive or greedy per ts.greedy).
+func (ts *treeSearch) orderedForest(chain []int) (*ftree.T, float64, error) {
+	comps := ts.components(ts.allClasses())
 	var roots []*ftree.Node
 	var worst float64
 	ci := 0
@@ -106,7 +81,7 @@ func OptimalFTreeOrdered(classes []relation.AttrSet, rels []relation.AttrSet, ch
 			worst = s
 		}
 	}
-	return ftree.New(roots, rels), worst, nil
+	return ftree.New(roots, ts.rels), worst, nil
 }
 
 // solveChain optimises the component comp rooted at the forced class

@@ -592,6 +592,9 @@ func TestStats(t *testing.T) {
 	if st.Version == 0 {
 		t.Fatal("write version missing")
 	}
+	if st.PlansGreedy == 0 {
+		t.Fatalf("planner tier counters missing from STATS: %+v", st)
+	}
 }
 
 // TestLatRing covers the percentile edge cases directly.

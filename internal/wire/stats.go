@@ -136,4 +136,13 @@ type Stats struct {
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 	OpenSnapshots int     `json:"open_snapshots"`
 	Version       uint64  `json:"version"` // database write version
+
+	// Planner tier counters: plans served by the greedy heuristic,
+	// escalations to the exhaustive search, exhaustive searches that fell
+	// back to the greedy tree on budget exhaustion, and background plan
+	// promotions that swapped a hot greedy plan for a cheaper one.
+	PlansGreedy    uint64 `json:"plans_greedy"`
+	PlanEscalated  uint64 `json:"plan_escalated"`
+	PlanFallbacks  uint64 `json:"plan_fallbacks"`
+	PlanPromotions uint64 `json:"plan_promotions"`
 }

@@ -1,0 +1,284 @@
+package fdb
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// skewDB builds a three-relation join whose greedy f-tree costs s=2 while
+// the exhaustive optimum costs s=1 — the smallest known instance (drawn
+// from the random-schema corpus) where the tiers genuinely disagree, so it
+// exercises escalation and promotion for real.
+func skewDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustCreate("r1", "x3", "x6", "x8")
+	db.MustCreate("r2", "x2", "x7", "x5")
+	db.MustCreate("r3", "x1", "x4", "x9")
+	for _, r := range [][3]int{{1, 1, 1}, {2, 2, 2}, {1, 2, 3}} {
+		db.MustInsert("r1", r[0], r[1], r[2])
+	}
+	for _, r := range [][3]int{{10, 5, 7}, {11, 6, 8}} {
+		db.MustInsert("r2", r[0], r[1], r[2])
+	}
+	for _, r := range [][3]int{{5, 1, 7}, {6, 2, 8}, {5, 2, 9}} {
+		db.MustInsert("r3", r[0], r[1], r[2])
+	}
+	return db
+}
+
+func skewClauses(extra ...Clause) []Clause {
+	cs := []Clause{
+		From("r1", "r2", "r3"),
+		Eq("r2.x5", "r3.x9"),
+		Eq("r3.x1", "r2.x7"),
+		Eq("r1.x6", "r1.x8"),
+		Eq("r3.x4", "r1.x3"),
+		Eq("r3.x4", "r1.x6"),
+	}
+	return append(cs, extra...)
+}
+
+// sortedRows renders rows with columns keyed by attribute name and the row
+// set sorted: different f-trees of the same query enumerate rows AND
+// columns in different orders, so this is the plan-independent comparison.
+func sortedRows(t *testing.T, res *Result) []string {
+	t.Helper()
+	schema := res.Schema()
+	var out []string
+	for _, row := range res.Rows(0) {
+		if len(row) != len(schema) {
+			t.Fatalf("row width %d != schema width %d", len(row), len(schema))
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = string(schema[i]) + "=" + v
+		}
+		sort.Strings(cells)
+		out = append(out, strings.Join(cells, "\t"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPlannerTiersDisagreeOnCostAgreeOnRows: the two planning tiers pick
+// genuinely different trees on the skew query (cost 2 vs 1) and must still
+// produce identical rows.
+func TestPlannerTiersDisagreeOnCostAgreeOnRows(t *testing.T) {
+	db := skewDB(t)
+	db.SetPlannerMode(PlannerGreedy)
+	gst, err := db.Prepare(skewClauses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetPlannerMode(PlannerExhaustive)
+	est, err := db.Prepare(skewClauses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gst.GreedyPlanned() || est.GreedyPlanned() {
+		t.Fatalf("GreedyPlanned: greedy=%v exhaustive=%v", gst.GreedyPlanned(), est.GreedyPlanned())
+	}
+	if gst.Cost() <= est.Cost() {
+		t.Fatalf("skew query lost its skew: greedy cost %v <= exhaustive %v", gst.Cost(), est.Cost())
+	}
+	gres, err := gst.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := est.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grows, erows := sortedRows(t, gres), sortedRows(t, eres)
+	if len(grows) == 0 {
+		t.Fatal("skew query returned no rows; the fixture is broken")
+	}
+	if strings.Join(grows, "\n") != strings.Join(erows, "\n") {
+		t.Fatalf("planner tiers disagree on rows:\ngreedy:\n%s\nexhaustive:\n%s",
+			strings.Join(grows, "\n"), strings.Join(erows, "\n"))
+	}
+	cs := db.CacheStats()
+	if cs.GreedyPlans == 0 || cs.Escalations == 0 {
+		t.Fatalf("counters missed the tiers: %+v", cs)
+	}
+}
+
+// TestBudgetExhaustionNeverErrors is the regression test for the
+// prepareSpec bug: a query wide enough to blow the exploration budget must
+// fall back to the greedy tree, never surface opt.ErrBudget.
+func TestBudgetExhaustionNeverErrors(t *testing.T) {
+	for _, mode := range []PlannerMode{PlannerAuto, PlannerExhaustive} {
+		db := skewDB(t)
+		db.SetPlannerMode(mode)
+		db.SetPlannerBudget(1)      // any search dies immediately
+		db.SetPlannerThreshold(0.5) // auto: every plan escalates
+		res, err := db.Query(skewClauses()...)
+		if err != nil {
+			t.Fatalf("mode %d: budget exhaustion escaped as a query error: %v", mode, err)
+		}
+		want := skewDB(t)
+		wres, err := want.Query(skewClauses()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(sortedRows(t, res), "\n") != strings.Join(sortedRows(t, wres), "\n") {
+			t.Fatalf("mode %d: fallback plan changed the result", mode)
+		}
+		cs := db.CacheStats()
+		if cs.BudgetFallbacks == 0 {
+			t.Fatalf("mode %d: fallback not counted: %+v", mode, cs)
+		}
+		if cs.GreedyPlans == 0 {
+			t.Fatalf("mode %d: greedy fallback plan not counted: %+v", mode, cs)
+		}
+	}
+}
+
+// TestBudgetExhaustionOrderedFallsBack: same regression for the
+// order-constrained search (stmt.go used to discard its error wholesale).
+// The ordered query must succeed, stay correctly ordered, and count its
+// fallback.
+func TestBudgetExhaustionOrderedFallsBack(t *testing.T) {
+	db := skewDB(t)
+	db.SetPlannerMode(PlannerExhaustive)
+	db.SetPlannerBudget(1)
+	res, err := db.Query(skewClauses(OrderBy("r2.x2"))...)
+	if err != nil {
+		t.Fatalf("ordered query under budget exhaustion: %v", err)
+	}
+	rows := res.Rows(0)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	col := -1
+	for i, a := range res.Schema() {
+		if a == "r2.x2" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("r2.x2 missing from schema %v", res.Schema())
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][col] > rows[i][col] {
+			t.Fatalf("rows out of order at %d: %v then %v", i, rows[i-1], rows[i])
+		}
+	}
+	if cs := db.CacheStats(); cs.BudgetFallbacks == 0 {
+		t.Fatalf("ordered fallback not counted: %+v", cs)
+	}
+}
+
+// TestPlanPromotion: after enough plan-cache hits, the greedily planned
+// skew statement is re-optimised in the background and its plan swapped to
+// the strictly cheaper exhaustive tree — same rows, lower cost, counted.
+func TestPlanPromotion(t *testing.T) {
+	db := skewDB(t)
+	db.SetPlannerPromoteAfter(2)
+	before, err := db.Query(skewClauses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := strings.Join(sortedRows(t, before), "\n")
+	// Two cache hits cross the threshold and launch the promotion.
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query(skewClauses()...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.CacheStats().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("promotion never landed: %+v", db.CacheStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	after, err := db.Query(skewClauses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(sortedRows(t, after), "\n"); got != wantRows {
+		t.Fatalf("promotion changed the result:\nbefore:\n%s\nafter:\n%s", wantRows, got)
+	}
+	// The promoted plan is the exhaustive optimum (cost 1 on this query)
+	// and no longer a promotion candidate.
+	st, err := db.PrepareCached(skewClauses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GreedyPlanned() {
+		t.Fatal("promoted statement still marked greedy")
+	}
+	if st.Cost() >= 2 {
+		t.Fatalf("promoted cost %v, want the cheaper exhaustive tree", st.Cost())
+	}
+	if cs := db.CacheStats(); cs.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1: %+v", cs.Promotions, cs)
+	}
+}
+
+// TestPromotionSurvivesWrites: a promoted plan keeps refreshing its inputs
+// incrementally like any other — writes after the swap are visible.
+func TestPromotionSurvivesWrites(t *testing.T) {
+	db := skewDB(t)
+	db.SetPlannerPromoteAfter(1)
+	if _, err := db.Query(skewClauses()...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(skewClauses()...); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.CacheStats().Promotions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("promotion never landed: %+v", db.CacheStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	before, err := db.Query(skewClauses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh joining row through every relation.
+	db.MustInsert("r1", 3, 3, 3)
+	db.MustInsert("r2", 12, 9, 4)
+	db.MustInsert("r3", 9, 3, 4)
+	after, err := db.Query(skewClauses()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count() != before.Count()+1 {
+		t.Fatalf("promoted statement missed the write: %d != %d+1", after.Count(), before.Count())
+	}
+}
+
+// TestPlannerKnobsClamp: out-of-range knob values restore defaults or
+// disable cleanly rather than wedging the planner.
+func TestPlannerKnobsClamp(t *testing.T) {
+	db := skewDB(t)
+	db.SetPlannerBudget(-5)
+	db.SetPlannerThreshold(-1)
+	db.SetPlannerPromoteAfter(-3) // disables promotion
+	if _, err := db.Query(skewClauses()...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.Query(skewClauses()...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cs := db.CacheStats(); cs.Promotions != 0 {
+		t.Fatalf("disabled promotion still fired: %+v", cs)
+	}
+	if got := db.PlannerMode(); got != PlannerAuto {
+		t.Fatalf("default mode = %v", got)
+	}
+	db.SetPlannerMode(PlannerExhaustive)
+	if got := db.PlannerMode(); got != PlannerExhaustive {
+		t.Fatalf("mode = %v after SetPlannerMode", got)
+	}
+}

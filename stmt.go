@@ -2,6 +2,7 @@ package fdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,34 +35,63 @@ const mergeMaxFrac = 0.25
 // relations' current versions, folding any delta batches committed since
 // the last execution into its sorted snapshots (and, when the change is
 // small, directly into its cached encoded representation) — the compiled
-// plan itself is immutable and never recompiles. A Stmt prepared from a
-// Snapshot is pinned: it keeps reading the snapshot's versions and fails
-// loudly once the snapshot is closed. Exec is safe for concurrent callers.
+// plan never recompiles on the query path, though a hot cached statement
+// may be promoted: a background re-optimisation that swaps the whole plan
+// atomically (see maybePromote). A Stmt prepared from a Snapshot is
+// pinned: it keeps reading the snapshot's versions and fails loudly once
+// the snapshot is closed. Exec is safe for concurrent callers.
 type Stmt struct {
-	db         *DB
-	tree       *ftree.T // optimal f-tree of the compiled query
-	inputs     []stmtInput
-	psels      []paramSel           // parameterised selections, bound at Exec
-	params     []string             // distinct parameter names, declaration order
-	project    []relation.Attribute // nil: keep all attributes
-	groupBy    []relation.Attribute // aggregation statements: group-by attributes
-	aggs       []frep.AggSpec       // aggregation statements: aggregates to compute
-	order      []frep.OrderKey      // ORDER BY keys; empty: enumeration order
-	offset     int                  // tuples to skip
-	limit      int                  // result cap; -1: none
-	distinct   bool                 // explicit set-semantics normalisation
-	streamable bool                 // the compiled tree streams the ORDER BY
-	cost       float64              // s(T) of the optimal f-tree
-	par        int                  // WithParallelism override; 0 = inherit from the DB
-	fp         string               // plan-cache fingerprint; "" when not cached
+	db       *DB
+	psels    []paramSel           // parameterised selections, bound at Exec
+	params   []string             // distinct parameter names, declaration order
+	project  []relation.Attribute // nil: keep all attributes
+	groupBy  []relation.Attribute // aggregation statements: group-by attributes
+	aggs     []frep.AggSpec       // aggregation statements: aggregates to compute
+	order    []frep.OrderKey      // ORDER BY keys; empty: enumeration order
+	offset   int                  // tuples to skip
+	limit    int                  // result cap; -1: none
+	distinct bool                 // explicit set-semantics normalisation
+	par      int                  // WithParallelism override; 0 = inherit from the DB
+	fp       string               // plan-cache fingerprint; "" when not cached
+
+	// classes and schemas are the query's attribute classes and relation
+	// schemas — data-independent, kept so a background promotion can rerun
+	// the f-tree search without recompiling the spec; ochain is the ORDER
+	// BY key-class chain of ordered statements.
+	classes []relation.AttrSet
+	schemas []relation.AttrSet
+	ochain  []int
 
 	snap *Snapshot // non-nil: pinned to this snapshot's versions
 
-	// data is the statement's current input snapshot; refresh publishes
-	// successors atomically so concurrent Execs never see a half-updated
-	// set. refreshMu serialises the (slow-path) refresh itself.
-	data      atomic.Pointer[stmtData]
+	// plan is the statement's current compiled plan — f-tree, per-input
+	// sort permutations, input data. Promotion publishes successor plans
+	// atomically and each Exec loads the pointer once, so tree, inputs and
+	// data are always observed as one consistent triple. refreshMu
+	// serialises the (slow-path) data refresh.
+	plan      atomic.Pointer[stmtPlan]
 	refreshMu sync.Mutex
+
+	// hits counts plan-cache hits (the promotion trigger); promoting
+	// latches so at most one background re-optimisation runs per statement.
+	hits      atomic.Uint64
+	promoting atomic.Bool
+}
+
+// stmtPlan is one immutable compiled plan of a statement: its f-tree, the
+// per-input sort permutations derived from that tree, the cost model's
+// verdict, and the input data (behind its own atomic pointer: refresh
+// publishes new data within a plan, promotion publishes whole new plans).
+// greedy marks trees produced by the greedy tier — the candidates
+// background promotion re-optimises.
+type stmtPlan struct {
+	tree       *ftree.T
+	inputs     []stmtInput
+	cost       float64 // s(T) of the compiled f-tree
+	streamable bool    // the tree streams the statement's ORDER BY
+	greedy     bool
+
+	data atomic.Pointer[stmtData]
 }
 
 // stmtInput is one compiled input relation: its backing store, the
@@ -265,7 +295,10 @@ func (db *DB) prepareSpec(s *spec, snap *Snapshot) (*Stmt, error) {
 			q.Relations[i] = r.Select(filters[i])
 		}
 	}
-	tr, cost, err := opt.OptimalFTree(q.Classes(), q.Schemas(), opt.TreeSearchOptions{})
+	// Tiered planning: greedy by default, exhaustive when the cost model
+	// asks for it, never a budget error (see planTree).
+	classes, schemas := q.Classes(), q.Schemas()
+	tr, cost, greedy, err := db.planTree(classes, schemas)
 	if err != nil {
 		return nil, err
 	}
@@ -288,16 +321,25 @@ func (db *DB) prepareSpec(s *spec, snap *Snapshot) (*Stmt, error) {
 	// Otherwise the statement keeps the optimal tree and retrieval falls back
 	// to a bounded heap at Exec time.
 	streamable := false
+	var ochain []int
 	if len(s.orderBy) > 0 {
+		ochain = orderChain(q, s.orderBy)
 		// A successful reorder is verified against the order property it
 		// claims to establish.
 		streamable = fplan.ReorderForOrder(tr, s.orderBy) && fplan.OrderCompatible(tr, s.orderBy)
 		if !streamable {
-			chain := orderChain(q, s.orderBy)
-			if ot, ocost, oerr := opt.OptimalFTreeOrdered(q.Classes(), q.Schemas(), chain, opt.TreeSearchOptions{}); oerr == nil &&
-				opt.PreferOrdered(cost, ocost, s.limit >= 0) && fplan.ReorderForOrder(ot, s.orderBy) {
-				tr, cost = ot, ocost
-				streamable = true
+			ot, ocost, ogreedy, oerr := db.planOrderedTree(classes, schemas, ochain)
+			switch {
+			case oerr == nil:
+				if opt.PreferOrdered(cost, ocost, s.limit >= 0) && fplan.ReorderForOrder(ot, s.orderBy) {
+					tr, cost, greedy = ot, ocost, ogreedy
+					streamable = true
+				}
+			case errors.Is(oerr, opt.ErrOrderIncompatible):
+				// No f-tree of this query streams the requested order;
+				// retrieval falls back to the bounded heap at Exec time.
+			default:
+				return nil, oerr
 			}
 		}
 	}
@@ -321,24 +363,25 @@ func (db *DB) prepareSpec(s *spec, snap *Snapshot) (*Stmt, error) {
 		vers[i] = states[i].Ver
 	}
 	st := &Stmt{
-		db:         db,
-		tree:       tr,
-		inputs:     inputs,
-		psels:      psels,
-		params:     params,
-		project:    s.project,
-		groupBy:    s.groupBy,
-		aggs:       s.aggs,
-		order:      s.orderBy,
-		offset:     s.offset,
-		limit:      s.limit,
-		distinct:   s.distinct,
-		streamable: streamable,
-		cost:       cost,
-		par:        s.par,
-		snap:       snap,
+		db:       db,
+		psels:    psels,
+		params:   params,
+		project:  s.project,
+		groupBy:  s.groupBy,
+		aggs:     s.aggs,
+		order:    s.orderBy,
+		offset:   s.offset,
+		limit:    s.limit,
+		distinct: s.distinct,
+		par:      s.par,
+		classes:  classes,
+		schemas:  schemas,
+		ochain:   ochain,
+		snap:     snap,
 	}
-	st.data.Store(&stmtData{rels: q.Relations, vers: vers})
+	p := &stmtPlan{tree: tr, inputs: inputs, cost: cost, streamable: streamable, greedy: greedy}
+	p.data.Store(&stmtData{rels: q.Relations, vers: vers})
+	st.plan.Store(p)
 	return st, nil
 }
 
@@ -358,34 +401,40 @@ func (st *Stmt) pin(snap *Snapshot) (*Stmt, error) {
 		return nil, errSnapshotClosed
 	}
 	ns := &Stmt{
-		db:         st.db,
-		tree:       st.tree,
-		inputs:     st.inputs,
-		psels:      st.psels,
-		params:     st.params,
-		project:    st.project,
-		groupBy:    st.groupBy,
-		aggs:       st.aggs,
-		order:      st.order,
-		offset:     st.offset,
-		limit:      st.limit,
-		distinct:   st.distinct,
-		streamable: st.streamable,
-		cost:       st.cost,
-		par:        st.par,
-		snap:       snap,
+		db:       st.db,
+		psels:    st.psels,
+		params:   st.params,
+		project:  st.project,
+		groupBy:  st.groupBy,
+		aggs:     st.aggs,
+		order:    st.order,
+		offset:   st.offset,
+		limit:    st.limit,
+		distinct: st.distinct,
+		par:      st.par,
+		classes:  st.classes,
+		schemas:  st.schemas,
+		ochain:   st.ochain,
+		snap:     snap,
 	}
-	rels := make([]*relation.Relation, len(st.inputs))
-	vers := make([]uint64, len(st.inputs))
-	for i, in := range st.inputs {
+	// One plan load: the pinned statement shares whichever consistent
+	// (tree, inputs) pair is current — promotion of the source statement
+	// can race but never tear. greedy is cleared: a pinned statement is
+	// never cached, so it can never be promoted.
+	p := st.plan.Load()
+	np := &stmtPlan{tree: p.tree, inputs: p.inputs, cost: p.cost, streamable: p.streamable}
+	rels := make([]*relation.Relation, len(p.inputs))
+	vers := make([]uint64, len(p.inputs))
+	for i, in := range p.inputs {
 		state, ok := snap.states[in.store.Name]
 		if !ok {
 			return nil, fmt.Errorf("fdb: relation %q created after the snapshot", in.store.Name)
 		}
-		rels[i] = st.resnapInput(i, state)
+		rels[i] = p.resnapInput(i, state)
 		vers[i] = state.Ver
 	}
-	ns.data.Store(&stmtData{rels: rels, vers: vers})
+	np.data.Store(&stmtData{rels: rels, vers: vers})
+	ns.plan.Store(np)
 	return ns, nil
 }
 
@@ -443,18 +492,24 @@ func (st *Stmt) Aggregates() []string {
 	return out
 }
 
-// Cost returns the cost s(T) of the statement's optimal f-tree.
-func (st *Stmt) Cost() float64 { return st.cost }
+// Cost returns the cost s(T) of the statement's compiled f-tree (the
+// promoted tree's cost once a background promotion has landed).
+func (st *Stmt) Cost() float64 { return st.plan.Load().cost }
+
+// GreedyPlanned reports whether the statement's current f-tree came from
+// the greedy planning tier (false once escalation or promotion has
+// replaced it with an exhaustively searched tree).
+func (st *Stmt) GreedyPlanned() bool { return st.plan.Load().greedy }
 
 // OrderStreamable reports whether the compiled f-tree streams the
 // statement's ORDER BY structurally (no sort; Limit short-circuits). It is
 // trivially false without an OrderBy clause. A projection applied at Exec
 // time can still restructure the tree, in which case retrieval re-checks and
 // may fall back to the bounded-heap sort.
-func (st *Stmt) OrderStreamable() bool { return st.streamable }
+func (st *Stmt) OrderStreamable() bool { return st.plan.Load().streamable }
 
 // FTree renders the statement's compiled f-tree.
-func (st *Stmt) FTree() string { return st.tree.String() }
+func (st *Stmt) FTree() string { return st.plan.Load().tree.String() }
 
 // Exec runs the compiled statement with the given parameter bindings and
 // returns a fresh factorised result. Safe for concurrent callers.
@@ -517,9 +572,9 @@ func (st *Stmt) ExecAggContext(ctx context.Context, args ...NamedArg) (*AggResul
 }
 
 // current reports whether d reflects every input store's current version.
-func (st *Stmt) current(d *stmtData) bool {
-	for i := range st.inputs {
-		if st.inputs[i].store.State().Ver != d.vers[i] {
+func (p *stmtPlan) current(d *stmtData) bool {
+	for i := range p.inputs {
+		if p.inputs[i].store.State().Ver != d.vers[i] {
 			return false
 		}
 	}
@@ -533,37 +588,40 @@ func (st *Stmt) current(d *stmtData) bool {
 // linear merge (or re-snapshots wholesale when the history was compacted
 // away), and — for parameter-free statements with a small enough delta —
 // patches the cached encoded representation in place of the next rebuild.
-// Pinned (snapshot-bound) statements never refresh.
-func (st *Stmt) refresh() {
+// Pinned (snapshot-bound) statements never refresh. refresh operates on
+// one plan: a promotion landing concurrently publishes its own fresh data
+// with the new plan, so refreshing the plan an execution already loaded is
+// always consistent.
+func (st *Stmt) refresh(p *stmtPlan) {
 	if st.snap != nil {
 		return
 	}
-	d := st.data.Load()
-	if st.current(d) {
+	d := p.data.Load()
+	if p.current(d) {
 		return
 	}
 	st.refreshMu.Lock()
 	defer st.refreshMu.Unlock()
-	d = st.data.Load()
-	if st.current(d) {
+	d = p.data.Load()
+	if p.current(d) {
 		return
 	}
 	// A consistent cut: no writer commits between the state loads.
-	states := make([]*delta.State, len(st.inputs))
+	states := make([]*delta.State, len(p.inputs))
 	st.db.mu.RLock()
-	for i := range st.inputs {
-		states[i] = st.inputs[i].store.State()
+	for i := range p.inputs {
+		states[i] = p.inputs[i].store.State()
 	}
 	st.db.mu.RUnlock()
 
 	nd := &stmtData{
-		rels: make([]*relation.Relation, len(st.inputs)),
-		vers: make([]uint64, len(st.inputs)),
+		rels: make([]*relation.Relation, len(p.inputs)),
+		vers: make([]uint64, len(p.inputs)),
 	}
-	deltas := make([]fbuild.RelDelta, len(st.inputs))
+	deltas := make([]fbuild.RelDelta, len(p.inputs))
 	resnap := false
 	deltaTuples, totalTuples := 0, 0
-	for i, in := range st.inputs {
+	for i, in := range p.inputs {
 		nd.vers[i] = states[i].Ver
 		if states[i].Ver == d.vers[i] {
 			nd.rels[i] = d.rels[i]
@@ -574,7 +632,7 @@ func (st *Stmt) refresh() {
 		if !ok {
 			// The history below our version was compacted away: rebuild
 			// this input from the new base (the plan stays compiled).
-			nd.rels[i] = st.resnapInput(i, states[i])
+			nd.rels[i] = p.resnapInput(i, states[i])
 			totalTuples += nd.rels[i].Cardinality()
 			resnap = true
 			continue
@@ -597,22 +655,22 @@ func (st *Stmt) refresh() {
 		old := d.enc
 		d.mu.Unlock()
 		if old != nil {
-			if enc, ok, err := fbuild.MergeEnc(nd.rels, st.tree.Clone(), old, deltas); err == nil && ok {
+			if enc, ok, err := fbuild.MergeEnc(nd.rels, p.tree.Clone(), old, deltas); err == nil && ok {
 				nd.enc = enc
 			}
 		}
 	}
-	st.data.Store(nd)
+	p.data.Store(nd)
 }
 
 // resnapInput rebuilds input i's snapshot from a state: dedup, constant
 // pre-filter, path sort — the same pipeline Prepare ran.
-func (st *Stmt) resnapInput(i int, state *delta.State) *relation.Relation {
+func (p *stmtPlan) resnapInput(i int, state *delta.State) *relation.Relation {
 	r := snapRelation(state)
-	if f := st.inputs[i].filter; f != nil {
+	if f := p.inputs[i].filter; f != nil {
 		r = r.Filter(f)
 	}
-	r.SortBy(st.inputs[i].sortAttrs)
+	r.SortBy(p.inputs[i].sortAttrs)
 	return r
 }
 
@@ -718,11 +776,14 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 		}
 	}
 
-	st.refresh()
-	d := st.data.Load()
+	// One plan load per execution: tree, inputs and data stay mutually
+	// consistent even if a promotion swaps the statement's plan mid-flight.
+	p := st.plan.Load()
+	st.refresh(p)
+	d := p.data.Load()
 
 	if len(st.psels) == 0 {
-		fr, err := st.cachedEnc(ctx, d)
+		fr, err := st.cachedEnc(ctx, p, d)
 		if err != nil {
 			return nil, err
 		}
@@ -753,7 +814,7 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 	// Each Exec gets its own tree: the encoded representation owns it, and
 	// downstream operators derive fresh trees from it. The build is
 	// morsel-parallel when the execution's parallelism allows it.
-	fr, err := fbuild.BuildEncParallelContext(ctx, rels, st.tree.Clone(), st.parallelism())
+	fr, err := fbuild.BuildEncParallelContext(ctx, rels, p.tree.Clone(), st.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -763,18 +824,18 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 // cachedEnc returns d's memoised pre-projection encoding, building it on
 // first use. Encoded representations are immutable, so handing the same
 // *Enc to every Exec at this version is free sharing, not aliasing.
-func (st *Stmt) cachedEnc(ctx context.Context, d *stmtData) (*frep.Enc, error) {
+func (st *Stmt) cachedEnc(ctx context.Context, p *stmtPlan, d *stmtData) (*frep.Enc, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.enc == nil {
 		// A database opened from a snapshot file may hold a pre-built arena
 		// for exactly this plan at exactly these input versions; adopting it
 		// skips the build entirely (the arena stays in the mapped file).
-		if enc := st.adoptSaved(d); enc != nil {
+		if enc := st.adoptSaved(p, d); enc != nil {
 			d.enc = enc
 			return d.enc, nil
 		}
-		enc, err := fbuild.BuildEncParallelContext(ctx, d.rels, st.tree.Clone(), st.parallelism())
+		enc, err := fbuild.BuildEncParallelContext(ctx, d.rels, p.tree.Clone(), st.parallelism())
 		if err != nil {
 			return nil, err
 		}
@@ -793,6 +854,97 @@ func (st *Stmt) applyProject(ctx context.Context, fr *frep.Enc) (*frep.Enc, erro
 		return nil, err
 	}
 	return fplan.ApplyEnc(fplan.Project{Attrs: st.project}, fr)
+}
+
+// promote is the background half of plan promotion: rerun the budgeted
+// exhaustive search over the statement's (data-independent) classes and
+// schemas, and if it finds a strictly cheaper tree, assemble a complete new
+// plan — lifted for group-by, order-checked, inputs re-snapshotted and
+// path-sorted — and swap it in atomically. Every failure mode (budget
+// exhaustion, no improvement, a lost order property) simply keeps the
+// greedy plan; promotion can never break a working statement.
+func (st *Stmt) promote() {
+	db := st.db
+	old := st.plan.Load()
+	db.pstats.escalations.Add(1)
+	tr, cost, err := opt.OptimalFTree(st.classes, st.schemas, db.plannerBudgetOpts())
+	if err != nil {
+		if errors.Is(err, opt.ErrBudget) {
+			db.pstats.fallbacks.Add(1)
+		}
+		return
+	}
+	if len(st.groupBy) > 0 {
+		if err := (fplan.Lift{Attrs: st.groupBy}).ApplyTree(tr); err != nil {
+			return
+		}
+	}
+	streamable := false
+	if len(st.order) > 0 {
+		streamable = fplan.ReorderForOrder(tr, st.order) && fplan.OrderCompatible(tr, st.order)
+		if !streamable {
+			if ot, ocost, oerr := opt.OptimalFTreeOrdered(st.classes, st.schemas, st.ochain, db.plannerBudgetOpts()); oerr == nil &&
+				opt.PreferOrdered(cost, ocost, st.limit >= 0) && fplan.ReorderForOrder(ot, st.order) {
+				tr, cost = ot, ocost
+				streamable = true
+			}
+		}
+		// Never trade the order property away: a promoted plan that stopped
+		// streaming would silently re-introduce the heap sort.
+		if old.streamable && !streamable {
+			return
+		}
+	}
+	if cost >= old.cost-1e-9 {
+		return
+	}
+	np, err := st.assemblePlan(old, tr, cost, streamable)
+	if err != nil {
+		return
+	}
+	st.plan.Store(np)
+	db.pstats.promotions.Add(1)
+}
+
+// assemblePlan compiles the execution half of a plan around a chosen tree:
+// a consistent snapshot cut of the old plan's stores, the baked constant
+// pre-filters, the tree's path sort and per-input sort permutations — the
+// same pipeline prepareSpec runs, re-derived for the new tree.
+func (st *Stmt) assemblePlan(old *stmtPlan, tr *ftree.T, cost float64, streamable bool) (*stmtPlan, error) {
+	states := make([]*delta.State, len(old.inputs))
+	st.db.mu.RLock()
+	for i := range old.inputs {
+		states[i] = old.inputs[i].store.State()
+	}
+	st.db.mu.RUnlock()
+	rels := make([]*relation.Relation, len(old.inputs))
+	vers := make([]uint64, len(old.inputs))
+	for i, in := range old.inputs {
+		r := snapRelation(states[i])
+		if in.filter != nil {
+			r = r.Filter(in.filter)
+		}
+		rels[i] = r
+		vers[i] = states[i].Ver
+	}
+	if err := fbuild.SortFor(rels, tr); err != nil {
+		return nil, err
+	}
+	inputs := make([]stmtInput, len(old.inputs))
+	for i, in := range old.inputs {
+		idx, err := fbuild.SortIndex(rels[i], tr)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]relation.Attribute, len(idx))
+		for j, c := range idx {
+			attrs[j] = rels[i].Schema[c]
+		}
+		inputs[i] = stmtInput{store: in.store, filter: in.filter, sortIdx: idx, sortAttrs: attrs}
+	}
+	p := &stmtPlan{tree: tr, inputs: inputs, cost: cost, streamable: streamable}
+	p.data.Store(&stmtData{rels: rels, vers: vers})
+	return p, nil
 }
 
 func max(a, b int) int {
