@@ -15,6 +15,7 @@
 //	fdbench -exp 11           # network front-end: library vs wire vs pipelined wire
 //	fdbench -exp 12           # zero-copy snapshot cold open vs TSV parse + rebuild
 //	fdbench -exp 13           # greedy planning tier vs exhaustive search: compile latency + plan cost
+//	fdbench -exp 14           # native set algebra (UNION/EXCEPT/INTERSECT) vs flat hash baseline
 //	fdbench -exp 0            # everything (the EXPERIMENTS.md grids)
 //
 // Flags -runs, -seed, -timeout shrink or grow the grids.
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.Int("exp", 0, "experiment to run (1-13; 0 = all)")
+	exp := flag.Int("exp", 0, "experiment to run (1-14; 0 = all)")
 	runs := flag.Int("runs", 3, "repetitions per configuration")
 	seed := flag.Int64("seed", 42, "random seed")
 	comb := flag.Bool("comb", false, "experiment 3: use the combinatorial dataset (Figure 7 right)")
@@ -57,6 +58,7 @@ func main() {
 		exp11(*seed)
 		exp12(*seed, *runs)
 		exp13(*seed, *runs)
+		exp14(*seed, *runs)
 	case 1:
 		exp1(*seed, *runs)
 	case 2:
@@ -83,8 +85,10 @@ func main() {
 		exp12(*seed, *runs)
 	case 13:
 		exp13(*seed, *runs)
+	case 14:
+		exp14(*seed, *runs)
 	default:
-		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..13")
+		fmt.Fprintln(os.Stderr, "fdbench: -exp must be 0..14")
 		os.Exit(2)
 	}
 }
@@ -523,6 +527,54 @@ func exp13(seed int64, runs int) {
 	}
 	for _, length := range []int{4, 6, 8} {
 		run(bench.Experiment13Chain, length)
+	}
+}
+
+func exp14(seed int64, runs int) {
+	fmt.Println("# Experiment 14: native set algebra over the encoding (structural merge) vs flat hash baseline, retailer legs")
+	fmt.Println("# op scale leg_a_tuples leg_b_tuples result_tuples frep_size build_ms fact_ms flat_ms speedup")
+	rng := rand.New(rand.NewSource(seed))
+	for _, scale := range []int{1, 4} {
+		acc := map[string]*bench.Exp14Row{}
+		var order []string
+		n := 0
+		for i := 0; i < runs; i++ {
+			rows, err := bench.Experiment14Retailer(rng, bench.Exp14Config{Scale: scale})
+			if err != nil {
+				// The experiment doubles as the factorised-vs-flat set-algebra
+				// parity check CI runs; its failure must fail the process.
+				fmt.Fprintln(os.Stderr, "fdbench:", err)
+				os.Exit(1)
+			}
+			for i := range rows {
+				r := rows[i]
+				a, ok := acc[r.Op]
+				if !ok {
+					acc[r.Op] = &r
+					order = append(order, r.Op)
+					continue
+				}
+				a.TuplesA += r.TuplesA
+				a.TuplesB += r.TuplesB
+				a.Tuples += r.Tuples
+				a.FRepSize += r.FRepSize
+				a.BuildMS += r.BuildMS
+				a.FactMS += r.FactMS
+				a.FlatMS += r.FlatMS
+			}
+			n++
+		}
+		f := float64(n)
+		for _, op := range order {
+			r := acc[op]
+			speedup := 0.0
+			if r.FactMS > 0 {
+				speedup = r.FlatMS / r.FactMS
+			}
+			fmt.Printf("%s %d %d %d %d %d %.3f %.3f %.3f %.1f\n",
+				op, scale, r.TuplesA/int64(n), r.TuplesB/int64(n), r.Tuples/int64(n),
+				r.FRepSize/int64(n), r.BuildMS/f, r.FactMS/f, r.FlatMS/f, speedup)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package fdb
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csvio"
 	"repro/internal/delta"
+	"repro/internal/fplan"
 	"repro/internal/frep"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -456,10 +458,18 @@ func (db *DB) fingerprint(s *spec) (string, []string, error) {
 		names = append(names, name)
 	}
 	db.mu.RUnlock()
-	var psels []string
+	var psels, ssels []string
 	for _, sel := range s.sels {
 		if p, ok := sel.val.(ParamValue); ok {
 			psels = append(psels, fmt.Sprintf("%s %d $%s", sel.attr, sel.op, p.name))
+			continue
+		}
+		// String constants fingerprint by string, not by dictionary code:
+		// encoding here would mint a code for every unseen constant a query
+		// merely compares against (and make the key depend on insertion
+		// history).
+		if str, ok := sel.val.(string); ok {
+			ssels = append(ssels, fmt.Sprintf("%s %d %q", sel.attr, sel.op, str))
 			continue
 		}
 		v, err := db.encode(sel.val)
@@ -471,6 +481,10 @@ func (db *DB) fingerprint(s *spec) (string, []string, error) {
 	key := q.Fingerprint()
 	if len(psels) > 0 {
 		key = key + "|psels " + strings.Join(psels, ",")
+	}
+	if len(ssels) > 0 {
+		sort.Strings(ssels)
+		key = key + "|ssels " + strings.Join(ssels, ",")
 	}
 	// A per-query parallelism override is carried on the compiled statement,
 	// so it is part of the plan identity (the tree itself is unaffected, but
@@ -588,7 +602,11 @@ func (db *DB) orderLess() frep.ValueLess {
 	}
 }
 
-// encode turns a Go value into an engine Value. The dictionary is
+// encode turns a Go value into an engine Value, assigning a fresh dictionary
+// code to an unseen string. It belongs on write paths only (Insert, Delete,
+// Upsert): read paths — query constants, parameter binds — must go through
+// Lookup/stringSelPred instead, so that comparing against a string the
+// database has never stored cannot grow the dictionary. The dictionary is
 // internally synchronised, so encode is safe under either DB lock.
 func (db *DB) encode(v interface{}) (relation.Value, error) {
 	switch x := v.(type) {
@@ -602,4 +620,47 @@ func (db *DB) encode(v interface{}) (relation.Value, error) {
 		return db.dict.Encode(x), nil
 	}
 	return 0, fmt.Errorf("fdb: unsupported value type %T", v)
+}
+
+// stringSelPred compiles a string comparison into a value predicate with
+// read-only dictionary semantics. Equality operators compare codes: an
+// unknown constant matches nothing (EQ) or everything (NE) — the dictionary
+// is never grown for it. Range operators compare in decoded lexicographic
+// order — the same total order ORDER BY uses (see orderLess) — not in code
+// (insertion) order; values outside the dictionary sort before all strings.
+func (db *DB) stringSelPred(op fplan.Cmp, s string) func(relation.Value) bool {
+	switch op {
+	case fplan.Eq:
+		c, ok := db.dict.Lookup(s)
+		if !ok {
+			return func(relation.Value) bool { return false }
+		}
+		return func(v relation.Value) bool { return v == c }
+	case fplan.Ne:
+		c, ok := db.dict.Lookup(s)
+		if !ok {
+			return func(relation.Value) bool { return true }
+		}
+		return func(v relation.Value) bool { return v != c }
+	}
+	// One dictionary snapshot for the whole scan: every code in the data
+	// predates the predicate's construction.
+	strs := db.dict.Snapshot()
+	return func(v relation.Value) bool {
+		c := -1 // non-string values sort before all strings, as in orderLess
+		if v >= 0 && int(v) < len(strs) {
+			c = strings.Compare(strs[v], s)
+		}
+		switch op {
+		case fplan.Lt:
+			return c < 0
+		case fplan.Le:
+			return c <= 0
+		case fplan.Gt:
+			return c > 0
+		case fplan.Ge:
+			return c >= 0
+		}
+		return false
+	}
 }

@@ -34,6 +34,8 @@ func ApplyEnc(op Op, e *frep.Enc) (*frep.Enc, error) {
 	switch o := op.(type) {
 	case SelectConst:
 		return selectConstEnc(o, e)
+	case SelectFn:
+		return selectFnEnc(o, e)
 	case Merge:
 		return mergeEnc(o, e)
 	case PushUp:
@@ -208,6 +210,20 @@ func selectConstEnc(o SelectConst, e *frep.Enc) (*frep.Enc, error) {
 		return normaliseEnc(out)
 	}
 	return out, nil
+}
+
+// selectFnEnc is σ_{A∈P} on the encoded form: the same filtered re-emit as
+// selectConstEnc, with an opaque predicate and no constant marking.
+func selectFnEnc(o SelectFn, e *frep.Enc) (*frep.Enc, error) {
+	sn := e.Tree.NodeOf(o.A)
+	if sn == nil {
+		return nil, fmt.Errorf("fplan: attribute %q not in f-tree", o.A)
+	}
+	nt := e.Tree.Clone()
+	b := frep.NewEncBuilder(nt)
+	r := newEncRewriter(e, b, nt, e.NodeIndex(sn))
+	r.entryFilter = o.Keep
+	return r.run(), nil
 }
 
 // normaliseEnc is η on the encoded form: the same probe-then-apply loop as

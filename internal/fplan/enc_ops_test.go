@@ -51,7 +51,7 @@ func randomEncOp(rng *rand.Rand, f *frep.FRep) Op {
 		}
 	}
 	pick := func() relation.Attribute { return attrs[rng.Intn(len(attrs))] }
-	switch rng.Intn(6) {
+	switch rng.Intn(7) {
 	case 0:
 		a := pick()
 		n := f.Tree.NodeOf(a)
@@ -68,6 +68,10 @@ func randomEncOp(rng *rand.Rand, f *frep.FRep) Op {
 		return SelectConst{A: pick(), Op: ops[rng.Intn(len(ops))], C: relation.Value(rng.Intn(3))}
 	case 4:
 		return PushUp{B: pick()}
+	case 5:
+		// Predicate selection: parity (a code-order-free predicate, like the
+		// decoded-order string ranges SelectFn exists for).
+		return SelectFn{A: pick(), Keep: func(v relation.Value) bool { return v%2 == 0 }, Label: "even"}
 	default:
 		return Normalise{}
 	}
@@ -213,6 +217,54 @@ func TestProductEncMatchesProduct(t *testing.T) {
 		// Overlapping attributes must be rejected on both sides.
 		if _, err := ProductEnc(got, f.Clone().Encode()); err == nil {
 			t.Fatal("overlapping product accepted")
+		}
+	}
+}
+
+// TestSelectFnDirect pins the SelectFn surface: rendering, the unknown-
+// attribute error on both forms, and a decoded-order-style predicate
+// filtering the encoded form without marking anything constant.
+func TestSelectFnDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f, err := encFixture(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := SelectFn{A: "B", Keep: func(v relation.Value) bool { return v != 1 }, Label: "!= 1 (decoded)"}
+	if got := op.String(); got != "σ[B != 1 (decoded)]" {
+		t.Errorf("String() = %q", got)
+	}
+	bad := SelectFn{A: "Z", Keep: op.Keep, Label: "x"}
+	if err := bad.ApplyTree(f.Tree.Clone()); err == nil {
+		t.Error("ApplyTree accepted unknown attribute")
+	}
+	if _, err := ApplyEnc(bad, f.Clone().Encode()); err == nil {
+		t.Error("ApplyEnc accepted unknown attribute")
+	}
+	enc, err := ApplyEnc(op, f.Clone().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Tree.Canonical() != f.Tree.Canonical() {
+		t.Errorf("SelectFn changed the tree:\n%s\nwas:\n%s", enc.Tree, f.Tree)
+	}
+	it := frep.NewEncIterator(enc)
+	col := -1
+	for i, a := range enc.Schema() {
+		if a == "B" {
+			col = i
+		}
+	}
+	for {
+		tup, ok := it.Next()
+		if !ok {
+			break
+		}
+		if tup[col] == 1 {
+			t.Fatalf("tuple %v survived σ[B != 1]", tup)
 		}
 	}
 }

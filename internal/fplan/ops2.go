@@ -106,6 +106,47 @@ func (o SelectConst) Apply(f *frep.FRep) error {
 	return nil
 }
 
+// SelectFn is σ_{A∈P}: a selection by an arbitrary value predicate — the
+// escape hatch for comparisons whose order is not native value order, most
+// prominently range selections on dictionary-encoded strings, which must
+// compare in decoded lexicographic order while codes carry insertion order.
+// Unlike SelectConst it never marks the node constant (the surviving values
+// are not known to be a single one), so the tree shape is preserved.
+type SelectFn struct {
+	A     relation.Attribute
+	Keep  func(relation.Value) bool
+	Label string // human-readable predicate, for plan rendering
+}
+
+func (o SelectFn) String() string { return fmt.Sprintf("σ[%s %s]", o.A, o.Label) }
+
+// ApplyTree implements Op.
+func (o SelectFn) ApplyTree(t *ftree.T) error {
+	if t.NodeOf(o.A) == nil {
+		return fmt.Errorf("fplan: select: attribute %q not in f-tree", o.A)
+	}
+	return nil
+}
+
+// Apply implements Op.
+func (o SelectFn) Apply(f *frep.FRep) error {
+	n, err := attrNode(f.Tree, o.A)
+	if err != nil {
+		return err
+	}
+	rewriteUnions(f, n, func(u *frep.Union) bool {
+		out := u.Entries[:0]
+		for i := range u.Entries {
+			if o.Keep(u.Entries[i].Val) {
+				out = append(out, u.Entries[i])
+			}
+		}
+		u.Entries = out
+		return len(out) > 0
+	})
+	return nil
+}
+
 // ---------------------------------------------------------------- project π
 
 // Project is π_Ā (Section 3.4): attributes outside the projection list are

@@ -67,9 +67,15 @@ type Case struct {
 	// alphabet (strs[v-1] is value v's string form; lexicographic order is a
 	// random permutation of numeric order), so ORDER BY must sort keys in
 	// decoded order — codes are insertion-ordered — and the per-column sort
-	// permutations are on the oracle's hook. Selections are restricted to
-	// EQ/NE for these cases (inequalities on codes have no int analogue).
+	// permutations are on the oracle's hook. Range selections on strings
+	// compare in decoded order too, so the oracle pre-filters them in string
+	// space before its (value-space) join.
 	strs []string
+	// Set-operation cases (setOp != 0) combine two selection legs over the
+	// same relations, equalities and projection: leg one uses sels, leg two
+	// sels2, joined by union (1), union all (2), except (3) or intersect (4).
+	setOp int
+	sels2 []core.ConstSel
 }
 
 // NewCase derives a case from the seed.
@@ -123,25 +129,16 @@ func NewCase(seed int64) (*Case, error) {
 
 	// One case in three runs on dictionary-encoded strings through a
 	// scrambled alphabet (the permutation makes decoded order disagree with
-	// code order). Drawn before the selections so their operator set can be
-	// restricted; only applied to tuple-result cases (aggregates over codes
+	// code order); only applied to tuple-result cases (aggregates over codes
 	// have no flat-int reference).
 	useStrings := rng.Intn(3) == 0
 	scramble := rng.Perm(m)
 
-	// Constant selections: 0-2, values around the domain. Any operator for
-	// int cases; EQ/NE when strings are in play.
+	// Constant selections: 0-2, values around the domain, any operator —
+	// string cases included: ranges on strings compare in decoded
+	// lexicographic order on both sides of the differential.
 	ops := []fdb.CmpOp{fdb.EQ, fdb.NE, fdb.LT, fdb.LE, fdb.GT, fdb.GE}
-	if useStrings {
-		ops = ops[:2]
-	}
-	for i := rng.Intn(3); i > 0; i-- {
-		c.sels = append(c.sels, core.ConstSel{
-			A:  attrs[rng.Intn(len(attrs))],
-			Op: ops[rng.Intn(len(ops))],
-			C:  relation.Value(1 + rng.Intn(m)),
-		})
-	}
+	c.sels = gen.RandomConstSels(rng, attrs, 2, m, ops)
 
 	// Query shape: plain (possibly projected) or aggregation.
 	if rng.Intn(5) < 2 {
@@ -194,32 +191,34 @@ func NewCase(seed int64) (*Case, error) {
 				c.strs[v-1] = fmt.Sprintf("s%03d", scramble[v-1])
 			}
 		}
+		// One tuple case in three additionally runs as a set operation: a
+		// second selection leg over the same relations, equalities and
+		// projection, combined by a random operator. The plain leg-one check
+		// still runs, so set cases subsume plain coverage.
+		if rng.Intn(3) == 0 {
+			c.setOp = 1 + rng.Intn(4)
+			c.sels2 = gen.RandomConstSels(rng, attrs, 2, m, ops)
+		}
 	}
 	return c, nil
 }
 
 // codes replays the dictionary assignment the engine performs while the
 // case's tuples are inserted (codes are handed out in first-appearance scan
-// order), returning value → code. Selections bind their constants after the
-// inserts, matching the engine's prepare-time encode order.
+// order), returning value → code. Selection constants never mint codes —
+// query comparison is a read path — so only the inserted data contributes.
 func (c *Case) codes() map[relation.Value]relation.Value {
 	out := map[relation.Value]relation.Value{}
 	next := relation.Value(0)
-	assign := func(v relation.Value) {
-		if _, ok := out[v]; !ok {
-			out[v] = next
-			next++
-		}
-	}
 	for _, rel := range c.rels {
 		for _, t := range rel.Tuples {
 			for _, v := range t {
-				assign(v)
+				if _, ok := out[v]; !ok {
+					out[v] = next
+					next++
+				}
 			}
 		}
-	}
-	for _, s := range c.sels {
-		assign(s.C)
 	}
 	return out
 }
@@ -315,17 +314,11 @@ func (c *Case) run(parallelism int, persist func(*fdb.DB, []fdb.Clause) (*fdb.DB
 		}
 	}
 
-	clauses := []fdb.Clause{fdb.From(c.names...)}
+	base := []fdb.Clause{fdb.From(c.names...)}
 	for _, e := range c.eqs {
-		clauses = append(clauses, fdb.Eq(string(e.A), string(e.B)))
+		base = append(base, fdb.Eq(string(e.A), string(e.B)))
 	}
-	for _, s := range c.sels {
-		if c.strs != nil {
-			clauses = append(clauses, fdb.Cmp(string(s.A), s.Op, c.strs[s.C-1]))
-		} else {
-			clauses = append(clauses, fdb.Cmp(string(s.A), s.Op, int64(s.C)))
-		}
-	}
+	clauses := append(append([]fdb.Clause{}, base...), c.selClauses(c.sels)...)
 
 	if persist != nil {
 		ndb, err := persist(db, clauses)
@@ -336,23 +329,94 @@ func (c *Case) run(parallelism int, persist func(*fdb.DB, []fdb.Clause) (*fdb.DB
 	}
 
 	// Oracle: the flat relational engine on the same qualified query.
-	oq := &core.Query{Equalities: c.eqs, Selections: c.sels}
-	for _, rel := range c.rels {
-		oq.Relations = append(oq.Relations, rel.Clone())
-	}
-	ores, err := rdb.Evaluate(oq, rdb.Options{Materialize: true, MaxTuples: maxOracleTuples})
+	flat, err := c.oracleFlat(c.sels)
 	if err != nil {
 		return fail("oracle: %v", err)
 	}
-	if ores.TimedOut || ores.Relation == nil {
+	if flat == nil {
 		return nil // flat result past the cap: not this harness's business
 	}
-	flat := ores.Relation
 
 	if len(c.aggs) > 0 {
 		return c.checkAgg(db, clauses, flat, fail)
 	}
-	return c.checkPlain(db, clauses, flat, fail)
+	if err := c.checkPlain(db, clauses, flat, fail); err != nil {
+		return err
+	}
+	if c.setOp != 0 {
+		return c.checkSet(db, base, flat, fail)
+	}
+	return nil
+}
+
+// selClauses renders a selection leg as fdb Cmp clauses (string form for
+// string cases).
+func (c *Case) selClauses(sels []core.ConstSel) []fdb.Clause {
+	var out []fdb.Clause
+	for _, s := range sels {
+		if c.strs != nil {
+			out = append(out, fdb.Cmp(string(s.A), s.Op, c.strs[s.C-1]))
+		} else {
+			out = append(out, fdb.Cmp(string(s.A), s.Op, int64(s.C)))
+		}
+	}
+	return out
+}
+
+// oracleFlat evaluates one selection leg against the flat rdb oracle and
+// returns the materialised result (nil when past the materialisation cap).
+// For string cases, range selections compare in decoded lexicographic order
+// — not in the oracle's integer value space — so they are applied as
+// string-space pre-filters on the inputs (a single-attribute selection
+// commutes with the equi-join); equalities commute with the injective
+// dictionary and stay in value space.
+func (c *Case) oracleFlat(sels []core.ConstSel) (*relation.Relation, error) {
+	oq := &core.Query{Equalities: c.eqs}
+	var strRanges []core.ConstSel
+	for _, s := range sels {
+		if c.strs != nil && s.Op != fdb.EQ && s.Op != fdb.NE {
+			strRanges = append(strRanges, s)
+			continue
+		}
+		oq.Selections = append(oq.Selections, s)
+	}
+	for _, rel := range c.rels {
+		r := rel.Clone()
+		for _, s := range strRanges {
+			col := r.Schema.Index(s.A)
+			if col < 0 {
+				continue
+			}
+			s, col := s, col
+			r = r.Filter(func(t relation.Tuple) bool { return c.strRangeMatch(t[col], s) })
+		}
+		oq.Relations = append(oq.Relations, r)
+	}
+	ores, err := rdb.Evaluate(oq, rdb.Options{Materialize: true, MaxTuples: maxOracleTuples})
+	if err != nil {
+		return nil, err
+	}
+	if ores.TimedOut || ores.Relation == nil {
+		return nil, nil
+	}
+	return ores.Relation, nil
+}
+
+// strRangeMatch evaluates a string range selection in decoded space: both
+// the data value and the constant map through the scrambled alphabet.
+func (c *Case) strRangeMatch(v relation.Value, s core.ConstSel) bool {
+	dv, dc := c.strs[v-1], c.strs[s.C-1]
+	switch s.Op {
+	case fdb.LT:
+		return dv < dc
+	case fdb.LE:
+		return dv <= dc
+	case fdb.GT:
+		return dv > dc
+	case fdb.GE:
+		return dv >= dc
+	}
+	return false
 }
 
 // checkPlain compares the enumerated factorised result with the flat oracle
@@ -397,16 +461,39 @@ func (c *Case) checkPlain(db Querier, clauses []fdb.Clause, flat *relation.Relat
 	if c.project != nil {
 		want = flat.Project(c.project) // set semantics, like the engine
 	}
+	return c.comparePlain(res, want, fail)
+}
+
+// comparePlain checks one tuple result against its flat reference relation
+// (already projected; duplicates preserved — union-all references are
+// bags): the reference moves into the engine's column order, sorts by the
+// retrieval comparator, clips by Offset/Limit, and each position must
+// match.
+func (c *Case) comparePlain(res *fdb.Result, want *relation.Relation, fail func(string, ...interface{}) error) error {
 	gotSchema := make(relation.Schema, 0, len(res.Schema()))
 	for _, a := range res.Schema() {
 		gotSchema = append(gotSchema, relation.Attribute(a))
 	}
-	// Reference sequence: the deduplicated oracle tuples in the engine's
-	// column order, sorted by the retrieval comparator, clipped. For string
+	// Reference sequence: the oracle tuples permuted into the engine's
+	// column order (a pure permutation — never a dedup, so bag references
+	// survive), sorted by the retrieval comparator, clipped. For string
 	// cases the oracle moves into dictionary-code space first (replaying the
 	// engine's insertion-ordered code assignment) and sorts keys by decoded
 	// string — exactly the contract: keys decoded, residual ties by code.
-	ref := want.Project(gotSchema)
+	perm := make([]int, len(gotSchema))
+	for i, a := range gotSchema {
+		if perm[i] = want.Schema.Index(a); perm[i] < 0 {
+			return fail("result schema %v not covered by oracle schema %v", gotSchema, want.Schema)
+		}
+	}
+	ref := make([]relation.Tuple, len(want.Tuples))
+	for i, t := range want.Tuples {
+		nt := make(relation.Tuple, len(perm))
+		for j, cix := range perm {
+			nt[j] = t[cix]
+		}
+		ref[i] = nt
+	}
 	var less frep.ValueLess
 	if c.strs != nil {
 		code := c.codes()
@@ -414,7 +501,7 @@ func (c *Case) checkPlain(db Querier, clauses []fdb.Clause, flat *relation.Relat
 		for v, cd := range code {
 			str[cd] = c.strs[v-1]
 		}
-		for _, t := range ref.Tuples {
+		for _, t := range ref {
 			for i, v := range t {
 				t[i] = code[v]
 			}
@@ -422,8 +509,8 @@ func (c *Case) checkPlain(db Querier, clauses []fdb.Clause, flat *relation.Relat
 		less = func(a, b relation.Value) bool { return str[a] < str[b] }
 	}
 	cmp := frep.TupleCompare(gotSchema, c.orderBy, less)
-	sort.SliceStable(ref.Tuples, func(i, j int) bool { return cmp(ref.Tuples[i], ref.Tuples[j]) < 0 })
-	expect := ref.Tuples
+	sort.SliceStable(ref, func(i, j int) bool { return cmp(ref[i], ref[j]) < 0 })
+	expect := ref
 	if c.offset > 0 {
 		if c.offset >= len(expect) {
 			expect = nil
@@ -454,6 +541,104 @@ func (c *Case) checkPlain(db Querier, clauses []fdb.Clause, flat *relation.Relat
 		if got[i].Compare(expect[i]) != 0 {
 			return fail("sequence diverges at position %d: fdb %v, oracle %v (order %v offset %d limit %d distinct %v)",
 				i, got[i], expect[i], c.orderBy, c.offset, c.limit, c.distinct)
+		}
+	}
+	return nil
+}
+
+// checkSet runs the case's set operation through QuerySet (and, when no
+// ordering/clipping clauses ride on the case, additionally through the
+// Result methods) and compares against the flat rdb set-algebra mirror over
+// the two legs' oracle results.
+func (c *Case) checkSet(db *fdb.DB, base []fdb.Clause, flat1 *relation.Relation, fail func(string, ...interface{}) error) error {
+	flat2, err := c.oracleFlat(c.sels2)
+	if err != nil {
+		return fail("oracle leg 2: %v", err)
+	}
+	if flat2 == nil {
+		return nil // past the materialisation cap
+	}
+	leg := func(sels []core.ConstSel) []fdb.Clause {
+		cl := append(append([]fdb.Clause{}, base...), c.selClauses(sels)...)
+		if c.project != nil {
+			ps := make([]string, len(c.project))
+			for i, a := range c.project {
+				ps[i] = string(a)
+			}
+			cl = append(cl, fdb.Project(ps...))
+		}
+		return cl
+	}
+	want1, want2 := flat1, flat2
+	if c.project != nil {
+		want1 = flat1.Project(c.project) // set semantics per leg, like the engine
+		want2 = flat2.Project(c.project)
+	}
+	type setRef func(a, b *relation.Relation) (*relation.Relation, error)
+	ops := map[int]struct {
+		name string
+		expr func(a, b *fdb.SetExpr) *fdb.SetExpr
+		meth func(a, b *fdb.Result) (*fdb.Result, error)
+		ref  setRef
+	}{
+		1: {"union", fdb.Union, (*fdb.Result).Union, rdb.Union},
+		2: {"union all", fdb.UnionAll, (*fdb.Result).UnionAll, rdb.UnionAll},
+		3: {"except", fdb.Except, (*fdb.Result).Except, rdb.Except},
+		4: {"intersect", fdb.Intersect, (*fdb.Result).Intersect, rdb.Intersect},
+	}
+	op := ops[c.setOp]
+	want, err := op.ref(want1, want2)
+	if err != nil {
+		return fail("%s reference: %v", op.name, err)
+	}
+	if c.distinct {
+		want = want.Clone()
+		want.Dedup() // trailing Distinct normalises a union-all bag
+	}
+
+	var trailing []fdb.Clause
+	if len(c.orderBy) > 0 {
+		keys := make([]interface{}, len(c.orderBy))
+		for i, k := range c.orderBy {
+			if k.Desc {
+				keys[i] = fdb.Desc(string(k.Attr))
+			} else {
+				keys[i] = fdb.Asc(string(k.Attr))
+			}
+		}
+		trailing = append(trailing, fdb.OrderBy(keys...))
+	}
+	if c.distinct {
+		trailing = append(trailing, fdb.Distinct())
+	}
+	if c.offset > 0 {
+		trailing = append(trailing, fdb.Offset(c.offset))
+	}
+	if c.limit >= 0 {
+		trailing = append(trailing, fdb.Limit(c.limit))
+	}
+	res, err := db.QuerySet(op.expr(fdb.Sub(leg(c.sels)...), fdb.Sub(leg(c.sels2)...)), trailing...)
+	if err != nil {
+		return fail("queryset %s: %v", op.name, err)
+	}
+	if err := c.comparePlain(res, want, fail); err != nil {
+		return fmt.Errorf("%s via QuerySet: %w", op.name, err)
+	}
+	if len(trailing) == 0 {
+		r1, err := db.Query(leg(c.sels)...)
+		if err != nil {
+			return fail("query leg 1: %v", err)
+		}
+		r2, err := db.Query(leg(c.sels2)...)
+		if err != nil {
+			return fail("query leg 2: %v", err)
+		}
+		mres, err := op.meth(r1, r2)
+		if err != nil {
+			return fail("result %s: %v", op.name, err)
+		}
+		if err := c.comparePlain(mres, want, fail); err != nil {
+			return fmt.Errorf("%s via Result method: %w", op.name, err)
 		}
 	}
 	return nil

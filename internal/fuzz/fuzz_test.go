@@ -135,6 +135,17 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(int64(7), uint8(2))
 	f.Add(int64(23), uint8(4))
 	f.Add(int64(1009), uint8(1))
+	// Set-operation corpus: one seed per operator (union, union all, except,
+	// intersect), one combining a set operation with a scrambled string
+	// dictionary, and one with string range selections (decoded-order cuts).
+	f.Add(int64(22), uint8(1))
+	f.Add(int64(17), uint8(2))
+	f.Add(int64(15), uint8(1))
+	f.Add(int64(32), uint8(3))
+	f.Add(int64(58), uint8(1)) // regression: union-all bag under ordered retrieval
+	f.Add(int64(319), uint8(1))
+	f.Add(int64(2), uint8(2))
+	f.Add(int64(4), uint8(1))
 	f.Fuzz(func(t *testing.T, seed int64, p uint8) {
 		workers := int(p%8) + 1
 		if err := Check(seed, workers); err != nil {

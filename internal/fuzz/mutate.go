@@ -32,8 +32,12 @@ func CheckMutations(seed int64, parallelism int) (int, error) {
 		return 0, fmt.Errorf("fuzz: mutation seed %d: generate: %v", seed, err)
 	}
 	// Mutations run on plain ints: the write schedule below would otherwise
-	// have to replay dictionary code assignment per mutation order.
+	// have to replay dictionary code assignment per mutation order. The set
+	// operation (if drawn) is dropped too — its check runs against the
+	// concrete *fdb.DB, while this harness also queries pinned snapshots.
 	c.strs = nil
+	c.setOp = 0
+	c.sels2 = nil
 	rng := rand.New(rand.NewSource(seed*0x9E3779B9 + 0x7F4A7C15))
 
 	db := fdb.New()

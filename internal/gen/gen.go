@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/fplan"
 	"repro/internal/frep"
 	"repro/internal/relation"
 )
@@ -143,6 +144,25 @@ func RandomEqualities(rng *rand.Rand, s *Schema, k int) ([]core.Equality, error)
 		eqs = append(eqs, core.Equality{A: a, B: b})
 	}
 	return eqs, nil
+}
+
+// RandomConstSels draws up to maxSels constant selections over attrs: a
+// random attribute, a random operator from ops, and a constant in [1, m] —
+// the selection-leg generator of the differential workloads (two
+// independent draws give the two legs of a set-operation case).
+func RandomConstSels(rng *rand.Rand, attrs []relation.Attribute, maxSels, m int, ops []fplan.Cmp) []core.ConstSel {
+	var sels []core.ConstSel
+	if len(attrs) == 0 || len(ops) == 0 {
+		return nil
+	}
+	for i := rng.Intn(maxSels + 1); i > 0; i-- {
+		sels = append(sels, core.ConstSel{
+			A:  attrs[rng.Intn(len(attrs))],
+			Op: ops[rng.Intn(len(ops))],
+			C:  relation.Value(1 + rng.Intn(m)),
+		})
+	}
+	return sels
 }
 
 // RandomOrderBy draws 1..maxKeys ORDER BY keys over distinct attributes of

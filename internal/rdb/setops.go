@@ -1,0 +1,113 @@
+package rdb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Flat set algebra over materialised relations: the baseline (and
+// differential-testing oracle) counterpart of the engine's native encoded
+// merges. Operands must have the same attribute set; b's columns are
+// permuted into a's order, so the result always carries a's schema.
+
+// Union returns the set union a ∪ b.
+func Union(a, b *relation.Relation) (*relation.Relation, error) {
+	return setOp("union", a, b, func(out *relation.Relation, ta, tb []relation.Tuple, inB map[string]bool) {
+		seen := make(map[string]bool, len(ta)+len(tb))
+		for _, t := range append(append([]relation.Tuple{}, ta...), tb...) {
+			if k := rowKey(t); !seen[k] {
+				seen[k] = true
+				out.AppendTuple(t)
+			}
+		}
+	})
+}
+
+// UnionAll returns the bag union a ⊎ b: every tuple of both operands,
+// duplicates preserved.
+func UnionAll(a, b *relation.Relation) (*relation.Relation, error) {
+	return setOp("union all", a, b, func(out *relation.Relation, ta, tb []relation.Tuple, inB map[string]bool) {
+		for _, t := range ta {
+			out.AppendTuple(t)
+		}
+		for _, t := range tb {
+			out.AppendTuple(t)
+		}
+	})
+}
+
+// Except returns the set difference a − b.
+func Except(a, b *relation.Relation) (*relation.Relation, error) {
+	return setOp("except", a, b, func(out *relation.Relation, ta, tb []relation.Tuple, inB map[string]bool) {
+		emitted := make(map[string]bool, len(ta))
+		for _, t := range ta {
+			if k := rowKey(t); !inB[k] && !emitted[k] {
+				emitted[k] = true
+				out.AppendTuple(t)
+			}
+		}
+	})
+}
+
+// Intersect returns the set intersection a ∩ b.
+func Intersect(a, b *relation.Relation) (*relation.Relation, error) {
+	return setOp("intersect", a, b, func(out *relation.Relation, ta, tb []relation.Tuple, inB map[string]bool) {
+		emitted := make(map[string]bool, len(ta))
+		for _, t := range ta {
+			if k := rowKey(t); inB[k] && !emitted[k] {
+				emitted[k] = true
+				out.AppendTuple(t)
+			}
+		}
+	})
+}
+
+// setOp validates the operands, permutes b into a's column order and hands
+// the aligned tuple sets to the per-operator emitter.
+func setOp(name string, a, b *relation.Relation,
+	emit func(out *relation.Relation, ta, tb []relation.Tuple, inB map[string]bool)) (*relation.Relation, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("rdb: %s with nil relation", name)
+	}
+	if len(a.Schema) == 0 || len(a.Schema) != len(b.Schema) {
+		return nil, fmt.Errorf("rdb: %s: schemas %v and %v are not compatible", name, a.Schema, b.Schema)
+	}
+	perm := make([]int, len(a.Schema))
+	for i, attr := range a.Schema {
+		j := b.Schema.Index(attr)
+		if j < 0 {
+			return nil, fmt.Errorf("rdb: %s: schemas %v and %v are not compatible", name, a.Schema, b.Schema)
+		}
+		perm[i] = j
+	}
+	tb := make([]relation.Tuple, len(b.Tuples))
+	for i, t := range b.Tuples {
+		nt := make(relation.Tuple, len(perm))
+		for j, c := range perm {
+			nt[j] = t[c]
+		}
+		tb[i] = nt
+	}
+	inB := make(map[string]bool, len(tb))
+	for _, t := range tb {
+		inB[rowKey(t)] = true
+	}
+	out := relation.New(a.Name, a.Schema.Clone())
+	emit(out, a.Tuples, tb, inB)
+	sort.Slice(out.Tuples, func(i, j int) bool { return out.Tuples[i].Compare(out.Tuples[j]) < 0 })
+	return out, nil
+}
+
+// rowKey renders a tuple as a map key.
+func rowKey(t relation.Tuple) string {
+	b := make([]byte, 0, len(t)*9)
+	for _, v := range t {
+		for s := uint(0); s < 64; s += 8 {
+			b = append(b, byte(uint64(v)>>s))
+		}
+		b = append(b, ';')
+	}
+	return string(b)
+}

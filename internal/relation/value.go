@@ -190,6 +190,18 @@ func (d *Dict) Encode(s string) Value {
 	return v
 }
 
+// Lookup returns the Value previously assigned to s without assigning one
+// on a miss — the read-path counterpart of Encode. Pure read paths (query
+// constants, parameter binds) must use Lookup: minting a code for a string
+// that only ever appears in a comparison would mutate shared state during
+// snapshot-pinned reads.
+func (d *Dict) Lookup(s string) (Value, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.toID[s]
+	return v, ok
+}
+
 // Decode returns the string for v, or a numeric rendering if v was never
 // assigned by this dictionary.
 func (d *Dict) Decode(v Value) string {

@@ -44,6 +44,11 @@ type Result struct {
 	// guarded.
 	repOnce sync.Once
 	rep     *frep.FRep
+	// Lazily computed bag flag: UnionAll leaves duplicate union entries in
+	// the encoding, and those entries' subtrees are not merged — retrieval
+	// over such a representation must sort.
+	bagOnce sync.Once
+	bag     bool
 }
 
 // newResult wraps an encoded representation in an (unordered, unlimited)
@@ -57,6 +62,15 @@ func newResult(db *DB, enc *frep.Enc) *Result {
 // machinery.
 func (r *Result) ordered() bool { return len(r.order) > 0 || r.offset > 0 || r.limit >= 0 }
 
+// isBag reports (once, cached) whether the encoding carries duplicate union
+// entries — the UnionAll representation. Bag enumeration cannot stream off
+// the structure: two equal adjacent entries hold separate subtrees whose
+// tuple sequences would need merging, so retrieval sorts instead.
+func (r *Result) isBag() bool {
+	r.bagOnce.Do(func() { r.bag = r.enc.HasDupEntries() })
+	return r.bag
+}
+
 // resolveOrder decides, once, how the ORDER BY streams: directly off the
 // encoding when the keys already label the pre-order prefix; off a
 // sibling-reordered view (Reindex shares the arena) when only the child
@@ -64,6 +78,13 @@ func (r *Result) ordered() bool { return len(r.order) > 0 || r.offset > 0 || r.l
 func (r *Result) resolveOrder() {
 	r.ordOnce.Do(func() {
 		r.ordEnc = r.enc
+		if r.isBag() {
+			// A bag representation (UnionAll) carries duplicate union
+			// entries whose subtrees differ; streaming would emit each
+			// subtree in order but not the merge of the two, so every
+			// retrieval sorts (canonical schema order when no keys).
+			return
+		}
 		if len(r.order) == 0 {
 			r.ordStream = true // enumeration order, just clipped
 			return
@@ -207,7 +228,7 @@ func (r *Result) Rep() *frep.FRep {
 // (with a Limit, retrieval visits O(offset+limit) entries and stops);
 // incompatible orders materialise through a bounded heap.
 func (r *Result) Iter() frep.TupleIter {
-	if !r.ordered() {
+	if !r.ordered() && !r.isBag() {
 		return frep.NewEncIterator(r.enc)
 	}
 	r.resolveOrder()
@@ -249,8 +270,29 @@ func (r *Result) Where(clauses ...Clause) (*Result, error) {
 		return nil, err
 	}
 	enc := r.enc
-	// Constant selections first (cheapest, Section 4).
+	// Constant selections first (cheapest, Section 4). String constants
+	// resolve through the read-only dictionary path: an equality on an
+	// already-encoded string compiles to a code selection, everything else —
+	// ranges (decoded lexicographic order) and equalities on unseen strings
+	// (empty or pass-through, never a fresh code) — runs as a predicate
+	// selection.
 	for _, sel := range s.sels {
+		if str, isStr := sel.val.(string); isStr {
+			var err error
+			if v, ok := r.db.dict.Lookup(str); ok && (sel.op == fplan.Eq || sel.op == fplan.Ne) {
+				enc, err = fplan.ApplyEnc(fplan.SelectConst{A: sel.attr, Op: sel.op, C: v}, enc)
+			} else {
+				enc, err = fplan.ApplyEnc(fplan.SelectFn{
+					A:     sel.attr,
+					Keep:  r.db.stringSelPred(sel.op, str),
+					Label: fmt.Sprintf("%s %q", sel.op, str),
+				}, enc)
+			}
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
 		v, err := r.db.encode(sel.val)
 		if err != nil {
 			return nil, err
@@ -319,6 +361,56 @@ func (r *Result) Join(other *Result, clauses ...Clause) (*Result, error) {
 		return joined, nil
 	}
 	return joined.Where(clauses...)
+}
+
+// Union returns the set union of two factorised results over the same
+// visible attributes, computed natively on the encoded representations: a
+// simultaneous walk of both encodings' sorted unions emitting through the
+// arena builder, never through the flat tuples (see frep.UnionEnc for the
+// alignment and decomposability rules). Both operands must come from the
+// same DB (shared dictionary); the result has set semantics.
+func (r *Result) Union(other *Result) (*Result, error) {
+	return r.setOp("Union", frep.UnionEnc, other)
+}
+
+// UnionAll returns the bag union of two factorised results: every tuple of
+// both operands, duplicates preserved. The duplicates live as doubled
+// entries in the encoding — Distinct (or Union) restores set semantics.
+func (r *Result) UnionAll(other *Result) (*Result, error) {
+	return r.setOp("UnionAll", frep.UnionAllEnc, other)
+}
+
+// Except returns the set difference r − other over the same visible
+// attributes, computed natively on the encoded representations.
+func (r *Result) Except(other *Result) (*Result, error) {
+	return r.setOp("Except", frep.ExceptEnc, other)
+}
+
+// Intersect returns the set intersection of two factorised results over the
+// same visible attributes, computed natively on the encoded representations.
+func (r *Result) Intersect(other *Result) (*Result, error) {
+	return r.setOp("Intersect", frep.IntersectEnc, other)
+}
+
+// setOp is the shared guard path of the four set operations: same database
+// (values are dictionary-encoded per DB, so cross-database operands would
+// silently compare unrelated codes), unordered operands (order/limit apply
+// to the final retrieval, not to intermediate algebra).
+func (r *Result) setOp(name string, op func(a, b *frep.Enc) (*frep.Enc, error), other *Result) (*Result, error) {
+	if other == nil {
+		return nil, fmt.Errorf("fdb: %s with nil result", name)
+	}
+	if r.db != other.db {
+		return nil, fmt.Errorf("fdb: %s across different DB instances: the dictionary encodings are incompatible", name)
+	}
+	if r.ordered() || other.ordered() {
+		return nil, fmt.Errorf("fdb: %s of an ordered/limited result is not supported; apply OrderBy/Limit to the final query", name)
+	}
+	enc, err := op(r.enc, other.enc)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(r.db, enc), nil
 }
 
 // ProjectTo projects the factorised result onto the given attributes.

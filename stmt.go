@@ -43,6 +43,7 @@ const mergeMaxFrac = 0.25
 type Stmt struct {
 	db       *DB
 	psels    []paramSel           // parameterised selections, bound at Exec
+	dsels    []dynSel             // string selections resolved per Exec
 	params   []string             // distinct parameter names, declaration order
 	project  []relation.Attribute // nil: keep all attributes
 	groupBy  []relation.Attribute // aggregation statements: group-by attributes
@@ -126,6 +127,26 @@ type paramSel struct {
 	name string
 }
 
+// dynSel is one compiled string selection that must be re-resolved against
+// the dictionary on every execution: a range comparison (decoded order can
+// gain strings between Execs) or an equality whose constant had no code at
+// prepare time (it may gain one). Equalities on already-encoded strings
+// compile to constant code selections instead — codes are permanent, so
+// baking them is cache-safe.
+type dynSel struct {
+	rel int
+	col int
+	op  fplan.Cmp
+	s   string
+}
+
+// execSel is one per-execution column filter: a resolved parameter binding
+// or dynamic string selection.
+type execSel struct {
+	col  int
+	pred func(relation.Value) bool
+}
+
 // NamedArg binds a parameter name to a value for Exec; create it with Arg.
 type NamedArg struct {
 	Name  string
@@ -185,32 +206,50 @@ func (db *DB) prepareSpec(s *spec, snap *Snapshot) (*Stmt, error) {
 		rels[i] = snapRelation(st)
 	}
 
-	// Split selections: constants are encoded and pre-filtered now,
-	// parameters become placeholders resolved per Exec.
+	// Split selections: integer constants (and equalities on already-encoded
+	// strings) are encoded and pre-filtered now; parameters become
+	// placeholders resolved per Exec; string ranges and equalities on unseen
+	// strings become dynamic selections, re-resolved against the dictionary
+	// per Exec — never minting a code for a constant the database has only
+	// ever compared against.
 	var consts []core.ConstSel
 	var psels []paramSel
+	var dsels []dynSel
 	params := s.params()
+	locate := func(a relation.Attribute) (int, int, error) {
+		for i, r := range rels {
+			if j := r.Schema.Index(a); j >= 0 {
+				return i, j, nil
+			}
+		}
+		return -1, -1, fmt.Errorf("fdb: selection on unknown attribute %q", a)
+	}
 	for _, sel := range s.sels {
-		p, isParam := sel.val.(ParamValue)
-		if !isParam {
-			v, err := db.encode(sel.val)
+		if p, isParam := sel.val.(ParamValue); isParam {
+			ri, ci, err := locate(sel.attr)
 			if err != nil {
 				return nil, err
 			}
-			consts = append(consts, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
+			psels = append(psels, paramSel{rel: ri, col: ci, op: sel.op, name: p.name})
 			continue
 		}
-		ri, ci := -1, -1
-		for i, r := range rels {
-			if j := r.Schema.Index(sel.attr); j >= 0 {
-				ri, ci = i, j
-				break
+		if str, isStr := sel.val.(string); isStr {
+			if v, ok := db.dict.Lookup(str); ok && (sel.op == fplan.Eq || sel.op == fplan.Ne) {
+				consts = append(consts, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
+				continue
 			}
+			ri, ci, err := locate(sel.attr)
+			if err != nil {
+				return nil, err
+			}
+			dsels = append(dsels, dynSel{rel: ri, col: ci, op: sel.op, s: str})
+			continue
 		}
-		if ri < 0 {
-			return nil, fmt.Errorf("fdb: selection on unknown attribute %q", sel.attr)
+		v, err := db.encode(sel.val)
+		if err != nil {
+			return nil, err
 		}
-		psels = append(psels, paramSel{rel: ri, col: ci, op: sel.op, name: p.name})
+		consts = append(consts, core.ConstSel{A: sel.attr, Op: sel.op, C: v})
 	}
 
 	q := &core.Query{Relations: rels, Equalities: s.eqs, Selections: consts, Projection: s.project}
@@ -365,6 +404,7 @@ func (db *DB) prepareSpec(s *spec, snap *Snapshot) (*Stmt, error) {
 	st := &Stmt{
 		db:       db,
 		psels:    psels,
+		dsels:    dsels,
 		params:   params,
 		project:  s.project,
 		groupBy:  s.groupBy,
@@ -403,6 +443,7 @@ func (st *Stmt) pin(snap *Snapshot) (*Stmt, error) {
 	ns := &Stmt{
 		db:       st.db,
 		psels:    st.psels,
+		dsels:    st.dsels,
 		params:   st.params,
 		project:  st.project,
 		groupBy:  st.groupBy,
@@ -646,10 +687,10 @@ func (st *Stmt) refresh(p *stmtPlan) {
 		totalTuples += nd.rels[i].Cardinality()
 	}
 	// Incremental maintenance of the cached representation: worth it only
-	// for parameter-free statements (others build per Exec anyway), with an
-	// encoding to patch, no wholesale re-snapshot, and a delta small enough
-	// that patching beats the morsel-parallel rebuild.
-	if len(st.psels) == 0 && !resnap && deltaTuples > 0 &&
+	// for statements with no per-Exec selections (others build per Exec
+	// anyway), with an encoding to patch, no wholesale re-snapshot, and a
+	// delta small enough that patching beats the morsel-parallel rebuild.
+	if len(st.psels) == 0 && len(st.dsels) == 0 && !resnap && deltaTuples > 0 &&
 		float64(deltaTuples) <= mergeMaxFrac*float64(max(totalTuples, 1)) {
 		d.mu.Lock()
 		old := d.enc
@@ -749,7 +790,10 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 	if st.snap != nil && st.snap.isClosed() {
 		return nil, errSnapshotClosed
 	}
-	bound := make(map[string]relation.Value, len(args))
+	// Bindings stay raw Go values here: a string argument must resolve
+	// through the read-only dictionary path below (Lookup / decoded-order
+	// predicate), never by minting a code for it.
+	bound := make(map[string]interface{}, len(args))
 	for _, a := range args {
 		known := false
 		for _, p := range st.params {
@@ -764,11 +808,12 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 		if _, dup := bound[a.Name]; dup {
 			return nil, fmt.Errorf("fdb: parameter %q bound twice", a.Name)
 		}
-		v, err := st.db.encode(a.Value)
-		if err != nil {
-			return nil, err
+		switch a.Value.(type) {
+		case int, int64, relation.Value, string:
+		default:
+			return nil, fmt.Errorf("fdb: unsupported value type %T", a.Value)
 		}
-		bound[a.Name] = v
+		bound[a.Name] = a.Value
 	}
 	for _, p := range st.params {
 		if _, ok := bound[p]; !ok {
@@ -782,7 +827,7 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 	st.refresh(p)
 	d := p.data.Load()
 
-	if len(st.psels) == 0 {
+	if len(st.psels) == 0 && len(st.dsels) == 0 {
 		fr, err := st.cachedEnc(ctx, p, d)
 		if err != nil {
 			return nil, err
@@ -790,21 +835,43 @@ func (st *Stmt) buildContext(ctx context.Context, args []NamedArg) (*frep.Enc, e
 		return st.applyProject(ctx, fr)
 	}
 
-	// Filter the affected snapshots with the bound constants. Filter
-	// shares tuple storage and preserves order, so the filtered inputs
-	// stay sorted and the shared snapshots stay untouched.
-	rels := append([]*relation.Relation(nil), d.rels...)
-	byRel := map[int][]core.ConstSel{}
-	cols := map[int][]int{}
-	for _, ps := range st.psels {
-		byRel[ps.rel] = append(byRel[ps.rel], core.ConstSel{Op: ps.op, C: bound[ps.name]})
-		cols[ps.rel] = append(cols[ps.rel], ps.col)
+	// Resolve this execution's selections — bound parameters and dynamic
+	// string comparisons — into per-relation column predicates, then filter
+	// the affected snapshots. Filter shares tuple storage and preserves
+	// order, so the filtered inputs stay sorted and the shared snapshots
+	// stay untouched.
+	byRel := map[int][]execSel{}
+	addSel := func(ri, col int, op fplan.Cmp, val interface{}) error {
+		var pred func(relation.Value) bool
+		if s, isStr := val.(string); isStr {
+			pred = st.db.stringSelPred(op, s)
+		} else {
+			v, err := st.db.encode(val)
+			if err != nil {
+				return err
+			}
+			cs := core.ConstSel{Op: op, C: v}
+			pred = cs.Match
+		}
+		byRel[ri] = append(byRel[ri], execSel{col: col, pred: pred})
+		return nil
 	}
+	for _, ps := range st.psels {
+		if err := addSel(ps.rel, ps.col, ps.op, bound[ps.name]); err != nil {
+			return nil, err
+		}
+	}
+	for _, ds := range st.dsels {
+		if err := addSel(ds.rel, ds.col, ds.op, ds.s); err != nil {
+			return nil, err
+		}
+	}
+	rels := append([]*relation.Relation(nil), d.rels...)
 	for ri, sels := range byRel {
-		cs := cols[ri]
+		sels := sels
 		rels[ri] = rels[ri].Filter(func(t relation.Tuple) bool {
-			for i, c := range sels {
-				if !c.Match(t[cs[i]]) {
+			for _, es := range sels {
+				if !es.pred(t[es.col]) {
 					return false
 				}
 			}

@@ -1,0 +1,182 @@
+package fdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// scrambledDB inserts strings in deliberately non-lexicographic order, so
+// dictionary codes (insertion order) disagree with decoded string order:
+// any range selection that compared codes would produce wrong answers.
+func scrambledDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustCreate("P", "id", "name")
+	for i, name := range []string{"pear", "apple", "quince", "banana", "melon", "cherry"} {
+		db.MustInsert("P", fmt.Sprintf("i%d", i+1), name)
+	}
+	return db
+}
+
+func names(t *testing.T, res *Result) string {
+	t.Helper()
+	col := -1
+	for i, a := range res.Schema() {
+		if a == "P.name" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("P.name not in result schema %v", res.Schema())
+	}
+	var out []string
+	for _, row := range res.Rows(0) {
+		out = append(out, row[col])
+	}
+	return strings.Join(out, " ")
+}
+
+// TestStringRangeDecodedOrder pins the satellite bugfix: string range
+// selections (LT/LE/GT/GE) compare in decoded lexicographic order, not in
+// insertion-order code space.
+func TestStringRangeDecodedOrder(t *testing.T) {
+	db := scrambledDB(t)
+	// "pear" has the smallest code (inserted first) but sorts late: a code
+	// comparison would return nothing for LT and almost everything for GT.
+	res, err := db.Query(From("P"), Cmp("P.name", LT, "cherry"), OrderBy("P.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(t, res); got != "apple banana" {
+		t.Errorf("name < cherry: %q, want \"apple banana\"", got)
+	}
+	res, err = db.Query(From("P"), Cmp("P.name", GE, "melon"), OrderBy("P.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(t, res); got != "melon pear quince" {
+		t.Errorf("name >= melon: %q, want \"melon pear quince\"", got)
+	}
+	// Constants absent from the dictionary still cut the range correctly.
+	res, err = db.Query(From("P"), Cmp("P.name", GT, "coconut"), Cmp("P.name", LE, "pea"), OrderBy("P.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(t, res); got != "melon" {
+		t.Errorf("coconut < name <= pea: %q, want \"melon\"", got)
+	}
+}
+
+// TestStringRangeOnResultWhere: the same decoded-order contract on the
+// Result.Where read path.
+func TestStringRangeOnResultWhere(t *testing.T) {
+	db := scrambledDB(t)
+	base, err := db.Query(From("P"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := base.Where(Cmp("P.name", GE, "cherry"), Cmp("P.name", LT, "pear"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := db.Query(From("P"), Cmp("P.name", GE, "cherry"), Cmp("P.name", LT, "pear"), OrderBy("P.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 || names(t, ordered) != "cherry melon" {
+		t.Errorf("cherry <= name < pear: count %d, ordered %q", res.Count(), names(t, ordered))
+	}
+}
+
+// TestStringParamRange: string ranges bound through Param/Arg resolve per
+// execution in decoded order, and rebinding moves the cut.
+func TestStringParamRange(t *testing.T) {
+	db := scrambledDB(t)
+	st, err := db.Prepare(From("P"), Cmp("P.name", LT, Param("cut")), OrderBy("P.name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Exec(Arg("cut", "cherry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(t, res); got != "apple banana" {
+		t.Errorf("name < cherry (param): %q, want \"apple banana\"", got)
+	}
+	res, err = st.Exec(Arg("cut", "pineapple"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(t, res); got != "apple banana cherry melon pear" {
+		t.Errorf("name < pineapple (param): %q", got)
+	}
+}
+
+// TestUnseenStringConstantsDontGrowDict pins the satellite bugfix: a read
+// path must never mint a dictionary code for a constant the database has
+// never stored — across Query, Result.Where, and Param binding, for EQ, NE
+// and range operators.
+func TestUnseenStringConstantsDontGrowDict(t *testing.T) {
+	db := scrambledDB(t)
+	base := db.Dict().Len()
+
+	// EQ miss: empty result.
+	res, err := db.Query(From("P"), Cmp("P.name", EQ, "durian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty() {
+		t.Errorf("name = durian matched %d tuples", res.Count())
+	}
+	// NE miss: everything passes.
+	res, err = db.Query(From("P"), Cmp("P.name", NE, "durian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 6 {
+		t.Errorf("name != durian matched %d tuples, want 6", res.Count())
+	}
+	// Range miss: decoded-order cut.
+	if _, err = db.Query(From("P"), Cmp("P.name", LT, "durian")); err != nil {
+		t.Fatal(err)
+	}
+	// Result.Where with an unseen constant.
+	full, err := db.Query(From("P"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = full.Where(Cmp("P.name", EQ, "durian")); err != nil {
+		t.Fatal(err)
+	}
+	// Param binding with an unseen constant.
+	st, err := db.Prepare(From("P"), Cmp("P.name", EQ, Param("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = st.Exec(Arg("x", "durian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty() {
+		t.Errorf("param name = durian matched %d tuples", res.Count())
+	}
+
+	if got := db.Dict().Len(); got != base {
+		t.Fatalf("read paths grew the dictionary: %d codes, was %d", got, base)
+	}
+
+	// Writes still mint codes — the dictionary is read-only for reads only.
+	// The insert carries two fresh strings ("i7" and "durian").
+	db.MustInsert("P", "i7", "durian")
+	if got := db.Dict().Len(); got != base+2 {
+		t.Fatalf("insert of new strings did not mint codes: %d codes, was %d", got, base)
+	}
+	res, err = db.Query(From("P"), Cmp("P.name", EQ, "durian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Errorf("name = durian after insert matched %d tuples, want 1", res.Count())
+	}
+}
